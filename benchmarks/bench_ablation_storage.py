@@ -1,0 +1,74 @@
+"""Ablation — extent vs log-structured storage (§7 future work).
+
+Microbenchmarks of the two chunk backends: in-place extent writes vs
+append-with-versioning log writes (which pay read-modify-write on
+partial updates and garbage collection under overwrite churn), plus the
+cost of a post-crash recovery scan. Quantifies the price of the fault
+tolerance the log design buys.
+"""
+
+import pytest
+
+from repro.fs import ExtentBackend, LogBackend
+from repro.units import KiB
+
+CHUNK = 64 * KiB
+DATA = bytes(range(256)) * (CHUNK // 256)
+
+
+@pytest.mark.parametrize("kind", ["extent", "log"])
+def test_full_chunk_write(benchmark, kind):
+    backend = (ExtentBackend(1 << 28) if kind == "extent"
+               else LogBackend(1 << 28, segment_size=1 << 22))
+    state = {"i": 0}
+
+    def write():
+        state["i"] += 1
+        backend.write_chunk(1, state["i"] % 512, 0, DATA, CHUNK)
+
+    benchmark(write)
+
+
+@pytest.mark.parametrize("kind", ["extent", "log"])
+def test_partial_overwrite_churn(benchmark, kind):
+    """Small in-chunk updates: the log pays read-modify-write + GC."""
+    backend = (ExtentBackend(1 << 26) if kind == "extent"
+               else LogBackend(1 << 26, segment_size=1 << 21))
+    backend.write_chunk(1, 0, 0, DATA, CHUNK)
+    patch = b"p" * 512
+    state = {"o": 0}
+
+    def overwrite():
+        state["o"] = (state["o"] + 512) % (CHUNK - 512)
+        backend.write_chunk(1, 0, state["o"], patch, CHUNK)
+
+    benchmark(overwrite)
+
+
+@pytest.mark.parametrize("kind", ["extent", "log"])
+def test_chunk_read(benchmark, kind):
+    backend = (ExtentBackend(1 << 26) if kind == "extent"
+               else LogBackend(1 << 26, segment_size=1 << 21))
+    for chunk in range(64):
+        backend.write_chunk(1, chunk, 0, DATA, CHUNK)
+    state = {"i": 0}
+
+    def read():
+        state["i"] += 1
+        return backend.read_chunk(1, state["i"] % 64, 0, CHUNK)
+
+    benchmark(read)
+
+
+def test_recovery_scan(benchmark):
+    """Index rebuild cost after a crash, per 1k live records."""
+    backend = LogBackend(1 << 28, segment_size=1 << 22)
+    for i in range(1000):
+        backend.write_chunk(i % 100, i // 100, 0, DATA, CHUNK)
+
+    def crash_recover():
+        backend.crash()
+        return backend.recover()
+
+    report = benchmark(crash_recover)
+    assert report.live_keys == 1000

@@ -1,0 +1,29 @@
+"""Fig. 7 — aggregate throughput scaling with server count.
+
+Paper rows: 11.7 GB/s with one server (unidirectional), 82% scaling
+efficiency at 8 servers, 68% at 128, FIFO ≈ job-fair for both writes
+and reads. We sweep 1-8 servers (the full 128-node sweep is the same
+code; pass a larger tuple when you have the minutes to spare).
+"""
+
+from repro.harness import fig07_scaling
+from repro.metrics import scaling_efficiency
+
+COUNTS = (1, 2, 4, 8)
+
+
+def test_fig07_scaling(once):
+    out = once(fig07_scaling, server_counts=COUNTS, duration=1.5)
+    print("\n" + out.report())
+    for key, series in out.rows.items():
+        eff = scaling_efficiency(series, list(COUNTS))
+        # Near-linear scaling that degrades gently with node count.
+        assert eff[-1] > 0.6, (key, eff)
+        assert all(e < 1.25 for e in eff), (key, eff)
+        # Throughput grows monotonically with servers.
+        assert all(a < b for a, b in zip(series, series[1:])), (key, series)
+    # FIFO and job-fair are equivalent for uncontended scaling runs.
+    for mode in ("write", "read"):
+        fifo = out.rows[f"fifo-{mode}"][-1]
+        fair = out.rows[f"job-fair-{mode}"][-1]
+        assert abs(fifo - fair) / fifo < 0.15

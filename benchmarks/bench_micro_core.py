@@ -1,0 +1,75 @@
+"""Microbenchmarks of the hot control-path kernels.
+
+These are genuine pytest-benchmark loops (many iterations): the token
+draw, the Eq. 1 matrix chain, scheduler enqueue/dequeue, and the
+placement-constrained assignment. They bound the per-request overhead
+the arbitration layer adds.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import (JobInfo, Policy, StatisticalTokenScheduler,
+                        TokenAssignment, placement_shares)
+
+
+@dataclass
+class Req:
+    job_id: int
+    cost: float = 1.0
+
+
+def jobs(n, users=4, groups=2):
+    return [JobInfo(job_id=i, user=f"u{i % users}", group=f"g{i % groups}",
+                    size=(i % 8) + 1) for i in range(n)]
+
+
+def test_token_draw(benchmark):
+    assignment = TokenAssignment({i: float(i + 1) for i in range(64)})
+    rng = np.random.default_rng(0)
+    us = rng.random(10000)
+    state = {"i": 0}
+
+    def draw():
+        state["i"] = (state["i"] + 1) % len(us)
+        return assignment.draw(float(us[state["i"]]))
+
+    benchmark(draw)
+
+
+def test_policy_shares_primitive(benchmark):
+    policy = Policy.parse("size-fair")
+    population = jobs(64)
+    benchmark(policy.shares, population)
+
+
+def test_policy_shares_composite_three_tier(benchmark):
+    policy = Policy.parse("group-user-size-fair")
+    population = jobs(64)
+    benchmark(policy.shares, population)
+
+
+def test_scheduler_enqueue_dequeue(benchmark):
+    policy = Policy.parse("job-fair")
+    scheduler = StatisticalTokenScheduler(policy, np.random.default_rng(0))
+    population = jobs(16)
+    scheduler.on_jobs_changed(population, 0.0)
+    requests = [Req(job_id=i % 16) for i in range(64)]
+
+    def cycle():
+        for request in requests:
+            scheduler.enqueue(request, 0.0)
+        for _ in range(len(requests)):
+            scheduler.dequeue(0.0)
+
+    benchmark(cycle)
+
+
+def test_placement_assignment(benchmark):
+    population = jobs(32)
+    shares = Policy.parse("size-fair").shares(population)
+    presence = {f"bb{s}": {j.job_id for j in population
+                           if (j.job_id + s) % 3 != 0}
+                for s in range(8)}
+    benchmark(placement_shares, presence, shares)

@@ -1,0 +1,60 @@
+"""Microbenchmarks of the file-system substrate's hot paths."""
+
+from repro.fs import ConsistentHashRing, NVMeRegion, StripeSpec, ThemisFS, map_range
+from repro.units import KiB, MiB
+
+
+def test_consistent_hash_lookup(benchmark):
+    ring = ConsistentHashRing([f"bb{i}" for i in range(16)], vnodes=64)
+    paths = [f"/fs/data/file-{i}" for i in range(256)]
+    state = {"i": 0}
+
+    def lookup():
+        state["i"] = (state["i"] + 1) % len(paths)
+        return ring.lookup(paths[state["i"]])
+
+    benchmark(lookup)
+
+
+def test_stripe_map_range(benchmark):
+    spec = StripeSpec(stripe_size=MiB, servers=tuple(f"bb{i}" for i in range(8)))
+    benchmark(map_range, spec, 3 * MiB + 17, 64 * MiB)
+
+
+def test_extent_alloc_free(benchmark):
+    region = NVMeRegion(1 << 30)
+
+    def cycle():
+        extents = [region.alloc(64 * KiB) for _ in range(32)]
+        for extent in extents:
+            region.free(extent)
+
+    benchmark(cycle)
+
+
+def test_fs_metadata_create_stat_unlink(benchmark):
+    fs = ThemisFS([f"bb{i}" for i in range(4)], capacity_per_server=1 << 30)
+    fs.makedirs("/fs/bench")
+    state = {"i": 0}
+
+    def cycle():
+        path = f"/fs/bench/f{state['i']}"
+        state["i"] += 1
+        fs.create(path)
+        fs.stat(path)
+        fs.unlink(path)
+
+    benchmark(cycle)
+
+
+def test_fs_accounting_write_read(benchmark):
+    fs = ThemisFS([f"bb{i}" for i in range(4)], capacity_per_server=1 << 30,
+                  default_stripe_count=4)
+    fs.makedirs("/fs/bench")
+    fs.create("/fs/bench/data")
+
+    def cycle():
+        fs.write_accounting("/fs/bench/data", 0, 8 * MiB)
+        fs.read_accounting("/fs/bench/data", 0, 8 * MiB)
+
+    benchmark(cycle)

@@ -1,0 +1,77 @@
+"""Two §2.2 scenarios the paper motivates but does not plot:
+
+- **priority-fair** (§2.2.2: "assigning more I/O resources to
+  prioritized jobs is fair, for example, during the hurricane season"):
+  two otherwise identical jobs with 3:1 priorities must split I/O 3:1.
+
+- **metadata storms** (§2.2.1: "the I/O workload of a job can be heavy
+  in metadata access, which eventually saturates the metadata server"):
+  an ``iops_stat`` storm against a victim job's metadata ops — FIFO
+  lets the storm bury the victim; job-fair splits the metadata service
+  cycles evenly.
+"""
+
+import pytest
+
+from repro.harness import JobRun, run_sharing_experiment
+from repro.units import MB
+from repro.workloads import IopsStat, JobSpec, MdtestWorkload, WriteReadCycle
+
+
+def test_priority_fair_three_to_one(once):
+    jobs = [
+        JobRun(spec=JobSpec(job_id=1, user="urgent", nodes=1, priority=3.0),
+               workload=WriteReadCycle(file_size=10 * MB,
+                                       streams_per_node=16),
+               start=0.0, stop=3.0),
+        JobRun(spec=JobSpec(job_id=2, user="routine", nodes=1, priority=1.0),
+               workload=WriteReadCycle(file_size=10 * MB,
+                                       streams_per_node=16),
+               start=0.0, stop=3.0),
+    ]
+    result = once(run_sharing_experiment, "priority-fair", jobs,
+                  scale=0.05, seed=0)
+    r1 = result.window_throughput(0.5, 3.0, 1)
+    r2 = result.window_throughput(0.5, 3.0, 2)
+    print(f"\npriority-fair 3:1 -> measured {r1 / r2:.2f}:1 "
+          f"({r1 / 1e9:.1f} vs {r2 / 1e9:.1f} GB/s)")
+    assert r1 / r2 == pytest.approx(3.0, rel=0.3)
+
+
+def _metadata_contention(policy: str):
+    jobs = [
+        # The storm: random stat() calls at full tilt.
+        JobRun(spec=JobSpec(job_id=1, user="storm", nodes=1),
+               workload=IopsStat(name_space=10_000, streams_per_node=32),
+               start=0.0, stop=1.0),
+        # The victim: a modest create/stat/unlink pipeline.
+        JobRun(spec=JobSpec(job_id=2, user="victim", nodes=1),
+               workload=MdtestWorkload(files_per_iteration=8,
+                                       streams_per_node=4),
+               start=0.0, stop=1.0),
+    ]
+    result = run_sharing_experiment(policy, jobs, scale=1.0 / 60.0, seed=0,
+                                    sample_interval=0.1)
+    return (result.sampler.op_count(job_id=1),
+            result.sampler.op_count(job_id=2))
+
+
+def test_metadata_storm_fair_sharing(once):
+    def run_both():
+        return _metadata_contention("fifo"), _metadata_contention("job-fair")
+
+    (fifo_storm, fifo_victim), (fair_storm, fair_victim) = once(run_both)
+    print(f"\nmetadata ops served  FIFO: storm={fifo_storm} "
+          f"victim={fifo_victim} (victim share "
+          f"{fifo_victim / (fifo_storm + fifo_victim):.1%})")
+    print(f"metadata ops served  job-fair: storm={fair_storm} "
+          f"victim={fair_victim} (victim share "
+          f"{fair_victim / (fair_storm + fair_victim):.1%})")
+    # Under FIFO the storm's 32 streams bury the victim's 4; job-fair
+    # must lift both the victim's served ops and its share of cycles
+    # (it stops below 50% only because its closed-loop concurrency is
+    # its own limit — opportunity fairness hands the rest to the storm).
+    fifo_share = fifo_victim / (fifo_storm + fifo_victim)
+    fair_share = fair_victim / (fair_storm + fair_victim)
+    assert fair_share > 1.5 * fifo_share
+    assert fair_victim > 1.3 * fifo_victim

@@ -1,0 +1,20 @@
+"""Shared benchmark helpers.
+
+Each figure benchmark runs its experiment exactly once (these are
+minutes-of-simulated-time system runs, not microseconds-scale kernels)
+and prints the paper-style rows; run with ``-s`` to see them. Shape
+assertions guard the reproduction claims.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable once under pytest-benchmark and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

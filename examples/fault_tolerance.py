@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Fault tolerance (§7 future work): log-structured data + journaled namespace.
+
+The paper's conclusion names "log-structure byte-addressable file system
+designs and persistent data structure strategy to enable fault
+tolerance" as future work. This example exercises that design: a
+:class:`~repro.fs.JournaledFS` over the log-structured chunk backend
+writes real data, crashes (losing every volatile index and namespace
+table), and recovers by replaying the namespace journal and scanning the
+log segments — byte-for-byte intact.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.fs import JournaledFS
+from repro.units import KiB, MiB
+
+
+def main() -> None:
+    fs = JournaledFS(["bb0", "bb1", "bb2"], capacity_per_server=64 * MiB,
+                     stripe_size=16 * KiB, default_stripe_count=3,
+                     storage_backend="log")
+    fs.makedirs("/fs/checkpoints")
+
+    # A few application checkpoints, one overwritten, one deleted.
+    blobs = {}
+    for step in (100, 200, 300):
+        path = f"/fs/checkpoints/step-{step}.ckpt"
+        fs.create(path)
+        blobs[path] = bytes([step % 256]) * (96 * KiB)
+        fs.write(path, 0, blobs[path])
+    fs.write("/fs/checkpoints/step-100.ckpt", 0, b"v2" * (8 * KiB))
+    blobs["/fs/checkpoints/step-100.ckpt"] = (
+        b"v2" * (8 * KiB) + blobs["/fs/checkpoints/step-100.ckpt"][16 * KiB:])
+    fs.unlink("/fs/checkpoints/step-200.ckpt")
+    del blobs["/fs/checkpoints/step-200.ckpt"]
+    fs.journal.take_checkpoint(fs)          # compact the journal
+    fs.create("/fs/checkpoints/step-400.ckpt")
+    blobs["/fs/checkpoints/step-400.ckpt"] = b"tail-write" * 1000
+    fs.write("/fs/checkpoints/step-400.ckpt", 0,
+             blobs["/fs/checkpoints/step-400.ckpt"])
+
+    print("before crash:", fs.readdir("/fs/checkpoints"))
+    print(f"journal: checkpoint of {len(fs.journal.checkpoint)} inodes "
+          f"+ {len(fs.journal.records)} tail records")
+
+    fs.crash()
+    print("\n*** crash: namespace tables and chunk indexes lost ***")
+    print("exists after crash:", fs.exists("/fs/checkpoints/step-300.ckpt"))
+
+    stats = fs.recover()
+    print(f"\nrecovered: {stats['applied']} namespace entries replayed")
+    for server, report in stats["scans"].items():
+        print(f"  {server}: scanned {report.records_scanned} log records "
+              f"-> {report.live_keys} live chunks")
+
+    print("after recovery:", fs.readdir("/fs/checkpoints"))
+    for path, expected in blobs.items():
+        got = fs.read(path, 0, len(expected))
+        assert got == expected, f"corruption in {path}"
+    print(f"verified {len(blobs)} files byte-for-byte intact; "
+          "deleted checkpoint stayed deleted")
+
+
+if __name__ == "__main__":
+    main()

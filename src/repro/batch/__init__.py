@@ -1,0 +1,8 @@
+"""Batch-scheduling substrate: exclusive compute-node allocation and a
+FCFS(+backfill) scheduler that drives the burst buffer with realistic
+job arrival streams (the role Slurm plays on the paper's testbed)."""
+
+from .allocator import NodePool
+from .scheduler import BatchJob, BatchScheduler, JobState
+
+__all__ = ["NodePool", "BatchScheduler", "BatchJob", "JobState"]

@@ -1,0 +1,68 @@
+"""Compute-node allocation.
+
+§2.2: "Most of today's supercomputers provide processing isolation for
+computing resources by granting exclusive access to compute nodes.
+However, such isolation does not exist in I/O resources." The batch
+layer models the first half — exclusive node allocation — so the
+burst-buffer layer can be studied under a realistic arrival stream of
+whole jobs rather than hand-built scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..errors import ConfigError
+
+__all__ = ["NodePool"]
+
+
+class NodePool:
+    """A fixed pool of compute nodes granted exclusively to jobs."""
+
+    def __init__(self, n_nodes: int):
+        if n_nodes < 1:
+            raise ConfigError(f"n_nodes must be >= 1: {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        self._free: List[int] = list(range(self.n_nodes))
+        self._held: Dict[int, Set[int]] = {}  # job id -> node ids
+
+    @property
+    def free_nodes(self) -> int:
+        return len(self._free)
+
+    @property
+    def busy_nodes(self) -> int:
+        return self.n_nodes - len(self._free)
+
+    def utilization(self) -> float:
+        """Fraction of the machine's nodes currently allocated."""
+        return self.busy_nodes / self.n_nodes
+
+    def can_fit(self, nodes: int) -> bool:
+        """True if *nodes* free nodes are available right now."""
+        return nodes <= len(self._free)
+
+    def allocate(self, job_id: int, nodes: int) -> Optional[List[int]]:
+        """Grant *nodes* exclusive nodes to *job_id*; None if they don't fit."""
+        if nodes < 1:
+            raise ConfigError(f"nodes must be >= 1: {nodes}")
+        if job_id in self._held:
+            raise ConfigError(f"job {job_id} already holds an allocation")
+        if nodes > len(self._free):
+            return None
+        granted = [self._free.pop() for _ in range(nodes)]
+        self._held[job_id] = set(granted)
+        return sorted(granted)
+
+    def release(self, job_id: int) -> int:
+        """Return a job's nodes to the pool; returns the count released."""
+        held = self._held.pop(job_id, None)
+        if held is None:
+            raise ConfigError(f"job {job_id} holds no allocation")
+        self._free.extend(sorted(held))
+        return len(held)
+
+    def holding(self, job_id: int) -> Set[int]:
+        """The node ids currently granted to *job_id* (empty set if none)."""
+        return set(self._held.get(job_id, set()))

@@ -1,0 +1,206 @@
+"""A batch scheduler driving the burst buffer with a realistic job stream.
+
+FCFS with optional EASY-style backfill: jobs are started in submission
+order when their node request fits; with backfill enabled, a smaller job
+further down the queue may jump ahead as long as nodes are free (no
+reservations — adequate for studying I/O-side effects, which is what
+this layer exists for).
+
+Each started job launches the usual burst-buffer machinery (clients on
+its allocated nodes, workload streams); on completion it releases its
+nodes, which may start queued jobs. Per-job wait/turnaround times and
+the overall makespan are the outputs the cluster-level study compares
+across burst-buffer policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..bb.cluster import Cluster
+from ..errors import ConfigError, InterruptError
+from ..workloads.base import JobSpec, Workload
+from .allocator import NodePool
+
+__all__ = ["BatchJob", "JobState", "BatchScheduler"]
+
+
+class JobState(Enum):
+    """Lifecycle of a batch job: pending -> running -> done."""
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class BatchJob:
+    """One submission and its lifecycle record."""
+
+    spec: JobSpec
+    workload: Workload
+    submit_time: float
+    client_nodes: Optional[int] = None  # simulated client endpoints cap
+    walltime: Optional[float] = None    # run-time limit for open-ended work
+    state: JobState = JobState.PENDING
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    timed_out: bool = False             # killed at the walltime limit
+    allocated: List[int] = field(default_factory=list)
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        return (None if self.start_time is None
+                else self.start_time - self.submit_time)
+
+    @property
+    def turnaround(self) -> Optional[float]:
+        return (None if self.end_time is None
+                else self.end_time - self.submit_time)
+
+    @property
+    def runtime(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+
+class BatchScheduler:
+    """FCFS(+backfill) batch scheduler bound to one burst-buffer cluster."""
+
+    def __init__(self, cluster: Cluster, n_compute_nodes: int,
+                 backfill: bool = True, base_dir: str = "/fs"):
+        self.cluster = cluster
+        self.pool = NodePool(n_compute_nodes)
+        self.backfill = backfill
+        self.base_dir = base_dir
+        self.jobs: Dict[int, BatchJob] = {}
+        self._queue: List[int] = []  # pending job ids, submission order
+        cluster.fs.makedirs(base_dir)
+
+    # -------------------------------------------------------------- submits
+    def submit(self, spec: JobSpec, workload: Workload,
+               submit_time: float = 0.0,
+               client_nodes: Optional[int] = None,
+               walltime: Optional[float] = None) -> BatchJob:
+        """Register a job to arrive at *submit_time*.
+
+        *walltime* bounds the run: open-ended workloads (benchmarks)
+        stop when it expires, like a Slurm time limit.
+        """
+        if spec.job_id in self.jobs:
+            raise ConfigError(f"duplicate job id {spec.job_id}")
+        if spec.nodes > self.pool.n_nodes:
+            raise ConfigError(
+                f"job {spec.job_id} wants {spec.nodes} nodes; the machine "
+                f"has {self.pool.n_nodes}")
+        if walltime is not None and walltime <= 0:
+            raise ConfigError(f"walltime must be positive: {walltime}")
+        job = BatchJob(spec=spec, workload=workload, submit_time=submit_time,
+                       client_nodes=client_nodes, walltime=walltime)
+        self.jobs[spec.job_id] = job
+        engine = self.cluster.engine
+
+        def arrive():
+            if submit_time > engine.now:
+                yield engine.timeout(submit_time - engine.now)
+            self._queue.append(spec.job_id)
+            self._try_start()
+
+        engine.process(arrive())
+        return job
+
+    # ------------------------------------------------------------- dispatch
+    def _try_start(self) -> None:
+        started = True
+        while started:
+            started = False
+            for idx, job_id in enumerate(list(self._queue)):
+                job = self.jobs[job_id]
+                if self.pool.can_fit(job.spec.nodes):
+                    self._queue.remove(job_id)
+                    self._launch(job)
+                    started = True
+                    break
+                if not self.backfill:
+                    return  # strict FCFS: the head blocks the queue
+                if idx == 0:
+                    continue  # head doesn't fit; try backfilling smaller jobs
+
+    def _launch(self, job: BatchJob) -> None:
+        engine = self.cluster.engine
+        job.allocated = self.pool.allocate(job.spec.job_id, job.spec.nodes)
+        job.state = JobState.RUNNING
+        job.start_time = engine.now
+        prefix = f"{self.base_dir}/job{job.spec.job_id}"
+        self.cluster.fs.makedirs(prefix)
+        n_clients = job.client_nodes or min(job.spec.nodes, 4)
+
+        stop = (engine.now + job.walltime
+                if job.walltime is not None else None)
+
+        def run_job():
+            info = job.spec.info()
+            clients = [self.cluster.add_client(
+                info, client_id=f"batch-j{job.spec.job_id}n{i}")
+                for i in range(n_clients)]
+            streams = []
+            for c_idx, client in enumerate(clients):
+                for s_idx in range(job.workload.streams_per_node):
+                    rng = self.cluster.rng.stream(
+                        f"batch.j{job.spec.job_id}.c{c_idx}.s{s_idx}")
+                    streams.append(engine.process(job.workload.run_stream(
+                        engine, client, rng, prefix, s_idx, stop)))
+            if job.walltime is not None:
+                # Hard limit: streams still alive at the deadline are
+                # killed, like a Slurm walltime cancellation.
+                def enforcer():
+                    yield engine.timeout(job.walltime)
+                    for stream in streams:
+                        if stream.is_alive:
+                            job.timed_out = True
+                            stream.defuse()
+                            stream.interrupt("walltime exceeded")
+
+                engine.process(enforcer())
+            done = engine.all_of(streams)
+            done.defuse()  # killed streams surface as timed_out, not a crash
+            try:
+                yield done
+            except InterruptError:
+                # Walltime kill: wait out the remaining stream teardowns.
+                while any(stream.is_alive for stream in streams):
+                    yield engine.timeout(1e-6)
+            for client in clients:
+                yield from client.goodbye()
+            job.state = JobState.DONE
+            job.end_time = engine.now
+            self.pool.release(job.spec.job_id)
+            self._try_start()
+
+        engine.process(run_job())
+
+    # --------------------------------------------------------------- results
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation (delegates to the cluster engine)."""
+        self.cluster.run(until=until)
+
+    @property
+    def all_done(self) -> bool:
+        return all(job.state is JobState.DONE for job in self.jobs.values())
+
+    def makespan(self) -> float:
+        """Last completion minus first submission (requires all done)."""
+        if not self.all_done:
+            raise ConfigError("makespan undefined: jobs still pending/running")
+        first = min(job.submit_time for job in self.jobs.values())
+        last = max(job.end_time for job in self.jobs.values())
+        return last - first
+
+    def mean_turnaround(self) -> float:
+        """Average submit-to-completion time across all jobs (requires all done)."""
+        if not self.all_done:
+            raise ConfigError("turnaround undefined: jobs still running")
+        times = [job.turnaround for job in self.jobs.values()]
+        return sum(times) / len(times)

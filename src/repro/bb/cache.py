@@ -1,0 +1,105 @@
+"""Client-side read cache.
+
+§5.1: "We disable client caching in all tests as ThemisIO is designed
+for remote-shared burst buffer, and we are investigating the I/O
+sharing capability in particular" — i.e. the client *has* a cache, the
+evaluation just turns it off. This module provides that piece: a
+block-granular LRU read cache consulted before forwarding reads, with
+write-through invalidation of the writer's own overlapping blocks.
+
+Scope note: coherence across clients is intentionally out of scope (as
+in most HPC client caches, consistency across ranks is delegated to the
+application/library level); the cache defaults to **disabled**, matching
+every experiment in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["ClientCache"]
+
+
+class ClientCache:
+    """Block-granular LRU over ``(path, block_index)`` keys.
+
+    Tracks *coverage*, not contents: the simulator's accounting-mode
+    reads carry no payload, so a cached block means "this range needs no
+    server round trip".
+    """
+
+    def __init__(self, capacity_bytes: int, block_size: int = 1 << 20):
+        if capacity_bytes <= 0 or block_size <= 0:
+            raise ConfigError("capacity_bytes and block_size must be positive")
+        if block_size > capacity_bytes:
+            raise ConfigError("block_size exceeds capacity")
+        self.capacity_blocks = capacity_bytes // block_size
+        self.block_size = block_size
+        self._blocks: "OrderedDict[Tuple[str, int], bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------- geometry
+    def _range_blocks(self, offset: int, size: int) -> range:
+        if size <= 0:
+            return range(0)
+        first = offset // self.block_size
+        last = (offset + size - 1) // self.block_size
+        return range(first, last + 1)
+
+    @property
+    def cached_blocks(self) -> int:
+        return len(self._blocks)
+
+    # ---------------------------------------------------------------- reads
+    def covers(self, path: str, offset: int, size: int) -> bool:
+        """True if the whole range is cached (and refresh its recency)."""
+        blocks = list(self._range_blocks(offset, size))
+        if not blocks:
+            return True
+        if all((path, b) in self._blocks for b in blocks):
+            for b in blocks:
+                self._blocks.move_to_end((path, b))
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, path: str, offset: int, size: int) -> None:
+        """Record that the range was fetched (post-read insertion)."""
+        for b in self._range_blocks(offset, size):
+            key = (path, b)
+            if key in self._blocks:
+                self._blocks.move_to_end(key)
+            else:
+                self._blocks[key] = True
+                while len(self._blocks) > self.capacity_blocks:
+                    self._blocks.popitem(last=False)
+                    self.evictions += 1
+
+    # --------------------------------------------------------------- writes
+    def invalidate(self, path: str, offset: int, size: int) -> int:
+        """Drop cached blocks overlapping a write; returns blocks dropped."""
+        dropped = 0
+        for b in self._range_blocks(offset, size):
+            if self._blocks.pop((path, b), None) is not None:
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    def invalidate_path(self, path: str) -> int:
+        """Drop every cached block of *path* (unlink/truncate)."""
+        keys = [k for k in self._blocks if k[0] == path]
+        for key in keys:
+            del self._blocks[key]
+        self.invalidations += len(keys)
+        return len(keys)
+
+    def clear(self) -> None:
+        """Drop every cached block."""
+        self._blocks.clear()

@@ -1,0 +1,288 @@
+"""The ThemisIO client (§4.1, §4.2).
+
+Runs with the application on a compute node. It gathers job metadata
+(job id, user, group, size), registers with each server it talks to
+(receiving the UCP pool worker the server assigned to it), forwards I/O
+requests, sends periodic heartbeats, and notifies servers on exit so
+they can destroy the worker mapping entries.
+
+Data placement is deterministic (consistent hashing + stripe records),
+so the client computes each operation's target servers itself and splits
+multi-server operations into per-server requests, awaiting all slices.
+
+All operations are simulation generators: drive them with
+``yield from client.write(...)`` inside a process, or wrap with
+``engine.process(...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..core.jobinfo import JobInfo
+from ..errors import ConfigError, FileNotFound
+from ..fs.filesystem import ThemisFS
+from ..fs.striping import map_range
+from ..net.fabric import Fabric
+from ..sim.process import Event
+from ..ucx import Address, RpcClient, UCPContext
+from .cache import ClientCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Engine
+
+__all__ = ["Client", "ClientConfig"]
+
+#: Fixed wire bytes of a request header (op, path, job metadata, offsets).
+_HEADER_BYTES = 64
+
+
+@dataclass
+class ClientConfig:
+    heartbeat_interval: float = 0.5
+    #: client read-cache size; 0 disables caching, as every experiment
+    #: in the paper does (§5.1).
+    cache_bytes: int = 0
+    cache_block: int = 1 << 20
+
+    def __post_init__(self):
+        if self.heartbeat_interval <= 0:
+            raise ConfigError("heartbeat_interval must be positive")
+        if self.cache_bytes < 0:
+            raise ConfigError("cache_bytes must be >= 0")
+
+
+class Client:
+    """One application process-group's connection to the burst buffer."""
+
+    def __init__(self, engine: "Engine", fabric: Fabric, node_name: str,
+                 client_id: str, job: JobInfo, fs: ThemisFS,
+                 server_ctl: Dict[str, Address],
+                 config: Optional[ClientConfig] = None):
+        self.engine = engine
+        self.client_id = client_id
+        self.job = job
+        self.fs = fs
+        self.config = config or ClientConfig()
+        self.ctx = UCPContext(engine, fabric, node_name)
+        self._server_ctl = dict(server_ctl)   # server name -> ctl address
+        self._ctl: Dict[str, RpcClient] = {}
+        self._io: Dict[str, RpcClient] = {}
+        self._io_pending: Dict[str, object] = {}  # server -> in-progress Event
+        self._heartbeat_proc = None
+        self.closed = False
+        self.ops_completed = 0
+        self.cache = (ClientCache(self.config.cache_bytes,
+                                  self.config.cache_block)
+                      if self.config.cache_bytes > 0 else None)
+
+    # ------------------------------------------------------------ connection
+    def _ctl_client(self, server: str) -> RpcClient:
+        client = self._ctl.get(server)
+        if client is None:
+            worker = self.ctx.create_worker(f"ctl-{server}")
+            client = RpcClient(worker, self._server_ctl[server])
+            self._ctl[server] = client
+        return client
+
+    def _ensure_io(self, server: str):
+        """Generator: the RPC client for *server*'s assigned IO worker.
+
+        Concurrent first contacts to the same server wait on one shared
+        registration instead of racing to create duplicate workers.
+        """
+        client = self._io.get(server)
+        if client is not None:
+            return client
+        pending = self._io_pending.get(server)
+        if pending is not None:
+            yield pending
+            return self._io[server]
+        pending = Event(self.engine)
+        self._io_pending[server] = pending
+        resp = yield self._ctl_client(server).call(
+            "register",
+            {"kind": "register", "client_id": self.client_id, "job": self.job},
+            size=_HEADER_BYTES)
+        worker = self.ctx.create_worker(f"io-{server}")
+        server_node = self._server_ctl[server][0]
+        client = RpcClient(worker, (server_node, resp["io_worker"]))
+        self._io[server] = client
+        del self._io_pending[server]
+        pending.succeed()
+        if self._heartbeat_proc is None:
+            self._heartbeat_proc = self.engine.process(self._heartbeat_loop())
+        return client
+
+    def register_all(self):
+        """Generator: eagerly register with every known server."""
+        for server in sorted(self._server_ctl):
+            yield from self._ensure_io(server)
+
+    def _heartbeat_loop(self):
+        while not self.closed:
+            yield self.engine.timeout(self.config.heartbeat_interval)
+            if self.closed:
+                return
+            calls = [
+                self._ctl_client(server).call(
+                    "heartbeat",
+                    {"kind": "heartbeat", "client_id": self.client_id,
+                     "job": self.job},
+                    size=_HEADER_BYTES)
+                for server in sorted(self._io)
+            ]
+            if calls:
+                yield self.engine.all_of(calls)
+
+    def goodbye(self):
+        """Generator: notify every registered server, stop heartbeats."""
+        self.closed = True
+        calls = [
+            self._ctl_client(server).call(
+                "goodbye",
+                {"kind": "goodbye", "client_id": self.client_id,
+                 "job": self.job},
+                size=_HEADER_BYTES)
+            for server in sorted(self._io)
+        ]
+        if calls:
+            yield self.engine.all_of(calls)
+
+    # ------------------------------------------------------------------- I/O
+    def _io_call(self, server: str, op: str, path: str, offset: int = 0,
+                 size: int = 0, payload: Optional[bytes] = None,
+                 wire: Optional[int] = None):
+        """Generator: one request/response against *server*."""
+        client = yield from self._ensure_io(server)
+        call = client.call(
+            "io",
+            {"op": op, "path": path, "offset": offset, "size": size,
+             "payload": payload, "client_id": self.client_id, "job": self.job},
+            size=_HEADER_BYTES + (wire if wire is not None else 0))
+        resp = yield call
+        self.ops_completed += 1
+        return resp
+
+    def create(self, path: str):
+        """Generator: create-or-open *path* (metadata server handles it)."""
+        server = self.fs.metadata_server(path)
+        return (yield from self._io_call(server, "open", path))
+
+    def mkdir(self, path: str):
+        """Generator: create directory *path* on its metadata server."""
+        server = self.fs.metadata_server(path)
+        return (yield from self._io_call(server, "mkdir", path))
+
+    def stat(self, path: str):
+        """Generator: stat *path* on its metadata server."""
+        server = self.fs.metadata_server(path)
+        return (yield from self._io_call(server, "stat", path))
+
+    def readdir(self, path: str):
+        """Generator: list directory *path* on its metadata server."""
+        server = self.fs.metadata_server(path)
+        return (yield from self._io_call(server, "readdir", path))
+
+    def unlink(self, path: str):
+        """Generator: remove *path*, invalidating any cached blocks."""
+        if self.cache is not None:
+            self.cache.invalidate_path(path)
+        server = self.fs.metadata_server(path)
+        return (yield from self._io_call(server, "unlink", path))
+
+    def write(self, path: str, offset: int, size: int,
+              payload: Optional[bytes] = None) -> int:
+        """Generator: write *size* bytes at *offset*; returns bytes written.
+
+        Without *payload* (the default for workloads) the write is
+        accounted but bytes are not materialised; with *payload* real
+        bytes go to the exact chunks (verification paths).
+        """
+        inode = self.fs.lookup(path)
+        if inode is None:
+            raise FileNotFound(path)
+        if self.cache is not None:
+            self.cache.invalidate(path, offset, size)
+        if payload is not None:
+            calls = []
+            for piece in map_range(inode.stripe, offset, size):
+                lo = piece.file_offset - offset
+                calls.append((piece.server, piece.file_offset, piece.length,
+                              payload[lo:lo + piece.length]))
+            total = 0
+            pending = []
+            for server, s_off, s_len, chunk in calls:
+                client = yield from self._ensure_io(server)
+                pending.append(client.call(
+                    "io",
+                    {"op": "write", "path": path, "offset": s_off,
+                     "size": s_len, "payload": chunk,
+                     "client_id": self.client_id, "job": self.job},
+                    size=_HEADER_BYTES + s_len))
+            results = yield self.engine.all_of(pending)
+            total = sum(r["bytes"] for r in results)
+            self.ops_completed += 1
+            return total
+
+        per_server = self._split(inode, offset, size)
+        pending = []
+        for server, (first_offset, nbytes) in sorted(per_server.items()):
+            client = yield from self._ensure_io(server)
+            pending.append(client.call(
+                "io",
+                {"op": "write", "path": path, "offset": first_offset,
+                 "size": nbytes, "payload": None,
+                 "client_id": self.client_id, "job": self.job},
+                size=_HEADER_BYTES + nbytes))
+        results = yield self.engine.all_of(pending)
+        # Accounting writes extend per-server; make sure the logical end
+        # is visible even if this server's last slice ends earlier.
+        if inode.size < offset + size:
+            inode.size = offset + size
+        self.ops_completed += 1
+        return sum(r["bytes"] for r in results)
+
+    def read(self, path: str, offset: int, size: int) -> int:
+        """Generator: read up to *size* bytes at *offset*; returns bytes read."""
+        inode = self.fs.lookup(path)
+        if inode is None:
+            raise FileNotFound(path)
+        avail = max(0, min(size, inode.size - offset))
+        if avail == 0:
+            return 0
+        if self.cache is not None and self.cache.covers(path, offset, avail):
+            self.ops_completed += 1
+            return avail  # served locally, no server round trip
+        per_server = self._split(inode, offset, avail)
+        pending = []
+        for server, (first_offset, nbytes) in sorted(per_server.items()):
+            client = yield from self._ensure_io(server)
+            pending.append(client.call(
+                "io",
+                {"op": "read", "path": path, "offset": first_offset,
+                 "size": nbytes, "payload": None,
+                 "client_id": self.client_id, "job": self.job},
+                size=_HEADER_BYTES))
+        results = yield self.engine.all_of(pending)
+        self.ops_completed += 1
+        if self.cache is not None:
+            self.cache.fill(path, offset, avail)
+        return sum(r["bytes"] for r in results)
+
+    def write_read_cycle(self, path: str, size: int) -> int:
+        """Generator: one §5.3.1 benchmark cycle (write then read back)."""
+        yield from self.write(path, 0, size)
+        return (yield from self.read(path, 0, size))
+
+    # --------------------------------------------------------------- routing
+    @staticmethod
+    def _split(inode, offset: int, size: int) -> Dict[str, Tuple[int, int]]:
+        """Per-server ``(first_offset, total_bytes)`` of a byte range."""
+        out: Dict[str, Tuple[int, int]] = {}
+        for piece in map_range(inode.stripe, offset, size):
+            first, total = out.get(piece.server, (piece.file_offset, 0))
+            out[piece.server] = (min(first, piece.file_offset),
+                                 total + piece.length)
+        return out

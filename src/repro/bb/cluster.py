@@ -1,0 +1,138 @@
+"""Cluster assembly: fabric + servers + shared FS + client factory.
+
+Builds a complete ThemisIO deployment (Fig. 6): N burst-buffer nodes
+each running a :class:`~repro.bb.server.Server` over one shared
+:class:`~repro.fs.ThemisFS` namespace, wired for λ-delayed
+synchronisation, plus compute-node clients created on demand.
+
+The queueing discipline is chosen per cluster: a policy string selects
+ThemisIO's statistical token scheduler; ``"fifo"``, ``"gift"`` or
+``"tbf"`` select the comparators of §5.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.baselines import FifoScheduler, GiftScheduler, TbfScheduler
+from ..core.policy import FIFO_POLICY_NAME, Policy
+from ..core.scheduler import Scheduler, StatisticalTokenScheduler
+from ..errors import ConfigError
+from ..core.jobinfo import JobInfo
+from ..fs.filesystem import ThemisFS
+from ..metrics.sampler import ThroughputSampler
+from ..net.fabric import Fabric
+from ..sim.engine import Engine
+from ..sim.rng import RngRegistry
+from ..units import GB, MiB, TiB, USEC
+from .client import Client, ClientConfig
+from .server import Server, ServerConfig
+
+__all__ = ["Cluster", "ClusterConfig", "make_scheduler"]
+
+
+@dataclass
+class ClusterConfig:
+    """Shape of a deployment."""
+
+    n_servers: int = 1
+    policy: str = "job-fair"            # or "fifo" / "gift" / "tbf"
+    server: ServerConfig = field(default_factory=ServerConfig)
+    client: ClientConfig = field(default_factory=ClientConfig)
+    capacity_per_server: int = 6 * TiB   # §1: 6.2 TB Optane per node
+    stripe_size: int = MiB
+    stripe_count: int = 1                # servers per file by default
+    storage_backend: str = "extent"      # or "log" (§7 future-work design)
+    fabric_latency: float = 2 * USEC
+    link_bandwidth: float = 25 * GB
+    seed: int = 0
+    opportunity_fair: bool = True        # ablation knob for ThemisIO
+    gift_mu: float = 0.5                 # §5.4 reference interval
+    tbf_declared_jobs: int = 2           # "user-supplied" rate divisor
+    tbf_rates: Optional[Dict[int, float]] = None
+
+    def __post_init__(self):
+        if self.n_servers < 1:
+            raise ConfigError("n_servers must be >= 1")
+        if self.stripe_count < 1:
+            raise ConfigError("stripe_count must be >= 1")
+
+
+def make_scheduler(config: ClusterConfig, server_name: str,
+                   rng: np.random.Generator) -> Scheduler:
+    """Instantiate the configured queueing discipline for one server."""
+    name = config.policy.strip().lower()
+    if name == FIFO_POLICY_NAME:
+        return FifoScheduler()
+    if name == "gift":
+        return GiftScheduler(capacity=config.server.bandwidth,
+                             mu=config.gift_mu)
+    if name == "tbf":
+        return TbfScheduler(capacity=config.server.bandwidth,
+                            rates=config.tbf_rates,
+                            declared_jobs=config.tbf_declared_jobs)
+    policy = Policy.parse(config.policy)
+    return StatisticalTokenScheduler(policy, rng,
+                                     opportunity_fair=config.opportunity_fair)
+
+
+class Cluster:
+    """A running deployment plus its client factory."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+        self.engine = Engine()
+        self.rng = RngRegistry(self.config.seed)
+        self.fabric = Fabric(self.engine,
+                             latency=self.config.fabric_latency,
+                             link_bandwidth=self.config.link_bandwidth)
+        self.sampler = ThroughputSampler()
+        server_names = [f"bb{i}" for i in range(self.config.n_servers)]
+        self.fs = ThemisFS(server_names,
+                           capacity_per_server=self.config.capacity_per_server,
+                           stripe_size=self.config.stripe_size,
+                           default_stripe_count=self.config.stripe_count,
+                           clock=lambda: self.engine.now,
+                           storage_backend=self.config.storage_backend)
+        self.servers: Dict[str, Server] = {}
+        for name in server_names:
+            scheduler = make_scheduler(
+                self.config, name, self.rng.stream(f"sched.{name}"))
+            self.servers[name] = Server(
+                self.engine, self.fabric, name, self.fs, scheduler,
+                config=self.config.server, sampler=self.sampler)
+        # λ-delayed fairness wiring (no-op for a single server).
+        sync_addresses = {name: server.sync_address
+                          for name, server in self.servers.items()}
+        if len(self.servers) > 1 and self.config.server.sync_interval > 0:
+            for server in self.servers.values():
+                server.connect_peers(sync_addresses)
+        self._client_seq = 0
+
+    # ---------------------------------------------------------------- clients
+    def add_client(self, job: JobInfo,
+                   client_id: Optional[str] = None) -> Client:
+        """Create a compute-node client for *job* (one per node typically)."""
+        self._client_seq += 1
+        client_id = client_id or f"client-{self._client_seq}"
+        node_name = f"cn-{client_id}"
+        ctl_addresses = {name: (name, Server.CTL_WORKER)
+                         for name in self.servers}
+        return Client(self.engine, self.fabric, node_name, client_id, job,
+                      self.fs, ctl_addresses, config=self.config.client)
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation until *until* (or until idle)."""
+        self.engine.run(until=until)
+
+    @property
+    def scheduler_name(self) -> str:
+        return next(iter(self.servers.values())).scheduler.name
+
+    def total_served_bytes(self) -> int:
+        """Data bytes served across every server."""
+        return sum(server.served_bytes for server in self.servers.values())

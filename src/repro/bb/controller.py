@@ -1,0 +1,147 @@
+"""The server controller (§4.1, §3.1).
+
+"The controller synchronizes with other servers to get the global status
+of active jobs, and allocates a number of tokens according to the fair
+sharing policy."
+
+Token allocation: whenever the job table's active set changes (new job,
+expiry, merge), the controller recomputes the statistical token
+assignment. With a single server — or before any peer information has
+arrived — shares come straight from the policy over the local table.
+Once λ-sync has exchanged tables *and placement* (which jobs each server
+hosts), every server solves the same placement-constrained assignment
+(:func:`repro.core.fairness.placement_shares`, the Fig. 5 adjustment)
+and installs its own row, so the cluster-wide split matches the global
+policy even when files live on disjoint servers.
+
+λ-delayed fairness: every ``sync_interval`` seconds the controller
+exchanges snapshots with every peer over the server↔server UCP workers
+(the all-gather of §3.1). Each exchange is a request/response pair: the
+peer merges our snapshot and replies with its own.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Set
+
+from ..core.fairness import placement_shares
+from ..ucx import Address, RpcClient
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import Server
+
+__all__ = ["Controller"]
+
+#: Estimated wire bytes per job-status-table entry (id, uid, gid, size,
+#: priority, status, heartbeat stamp).
+_ENTRY_WIRE_BYTES = 64
+
+
+class Controller:
+    """Token allocation plus λ-delayed table synchronisation."""
+
+    def __init__(self, server: "Server", sync_interval: float):
+        self.server = server
+        self.sync_interval = float(sync_interval)
+        self._peers: Dict[str, RpcClient] = {}
+        #: which jobs each server hosts, learned via sync (self included).
+        self.presence: Dict[str, Set[int]] = {}
+        self._table_version_seen = -1
+        self._presence_seen: Dict[str, frozenset] = {}
+        self.sync_rounds = 0
+        self._sync_process = None
+
+    # ---------------------------------------------------------------- tokens
+    def refresh_tokens(self, force: bool = False) -> bool:
+        """Recompute the scheduler's tokens if anything relevant changed."""
+        server = self.server
+        table = server.monitor.table
+        self.presence[server.name] = server.monitor.active_local_jobs()
+        presence_now = {name: frozenset(jobs)
+                        for name, jobs in self.presence.items()}
+        if (not force and table.version == self._table_version_seen
+                and presence_now == self._presence_seen):
+            return False
+        self._table_version_seen = table.version
+        self._presence_seen = presence_now
+
+        active = table.active_jobs()
+        now = server.engine.now
+        informative_peers = [name for name, jobs in self.presence.items()
+                             if name != server.name and jobs]
+        if not informative_peers:
+            server.scheduler.on_jobs_changed(active, now)
+            return True
+        # Placement-aware assignment (Fig. 5): global policy shares,
+        # projected onto each server's hosted-job set.
+        global_shares = server.policy_shares(active)
+        if not global_shares:
+            server.scheduler.on_jobs_changed(active, now)
+            return True
+        rows = placement_shares(
+            {name: set(jobs) for name, jobs in presence_now.items()
+             if jobs}, global_shares)
+        row = rows.get(server.name)
+        if row:
+            server.scheduler.set_assignment(row, now)
+        else:
+            server.scheduler.on_jobs_changed(active, now)
+        return True
+
+    # ----------------------------------------------------------------- peers
+    def connect_peers(self, peers: Dict[str, Address]) -> None:
+        """Wire server↔server RPC clients and start the λ loop."""
+        engine = self.server.engine
+        for name, address in peers.items():
+            if name == self.server.name:
+                continue
+            worker = self.server.ctx.create_worker(f"ss-to-{name}")
+            self._peers[name] = RpcClient(worker, address)
+        if self._peers and self.sync_interval > 0 and self._sync_process is None:
+            self._sync_process = engine.process(self._sync_loop())
+
+    @property
+    def peer_names(self) -> List[str]:
+        return sorted(self._peers)
+
+    # ------------------------------------------------------------------ sync
+    def _payload(self) -> dict:
+        monitor = self.server.monitor
+        return {
+            "entries": monitor.table.snapshot(),
+            "host": self.server.name,
+            "host_jobs": sorted(monitor.active_local_jobs()),
+        }
+
+    def _sync_loop(self):
+        engine = self.server.engine
+        while True:
+            yield engine.timeout(self.sync_interval)
+            table = self.server.monitor.table
+            payload = self._payload()
+            size = _ENTRY_WIRE_BYTES * max(1, len(payload["entries"]))
+            calls = [client.call("sync", payload, size=size)
+                     for client in self._peers.values()]
+            responses = yield engine.all_of(calls)
+            for resp in responses:
+                table.merge(resp["entries"])
+                self.presence[resp["host"]] = set(resp["host_jobs"])
+            self.sync_rounds += 1
+            self.refresh_tokens()
+
+    def handle_sync(self, rpc) -> None:
+        """Peer pushed its snapshot: merge and reply after the controller's
+        processing time (serialisation + merge cost, §5.6)."""
+        def respond():
+            processing = self.server.config.sync_processing_time
+            if processing > 0:
+                yield self.server.engine.timeout(processing)
+            table = self.server.monitor.table
+            table.merge(rpc.body["entries"])
+            self.presence[rpc.body["host"]] = set(rpc.body["host_jobs"])
+            payload = self._payload()
+            rpc.reply(payload,
+                      size=_ENTRY_WIRE_BYTES * max(1, len(payload["entries"])))
+            self.refresh_tokens()
+
+        self.server.engine.process(respond())

@@ -1,0 +1,78 @@
+"""I/O request types carried from clients to burst-buffer servers.
+
+Every request embeds the job metadata (job id, user, group, size) that
+ThemisIO's policies key on (§1: "we embed job-related information, such
+as job id, user id, and job size, in the I/O request").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+from ..core.jobinfo import JobInfo
+from ..errors import InvalidArgument
+
+__all__ = ["OpType", "IORequest", "META_COST_BYTES"]
+
+#: Service cost (in byte-equivalents) charged for a metadata operation by
+#: budget-based schedulers (GIFT/TBF); roughly one small device page.
+META_COST_BYTES = 4096
+
+_req_ids = itertools.count(1)
+
+
+class OpType(Enum):
+    """The I/O operation kinds a request can carry."""
+    WRITE = "write"
+    READ = "read"
+    OPEN = "open"       # create-or-open
+    STAT = "stat"
+    READDIR = "readdir"
+    UNLINK = "unlink"
+    MKDIR = "mkdir"
+
+    @property
+    def is_data(self) -> bool:
+        return self in (OpType.WRITE, OpType.READ)
+
+
+@dataclass
+class IORequest:
+    """One server-side unit of work (a single-server slice of a client op)."""
+
+    op: OpType
+    job: JobInfo
+    path: str
+    offset: int = 0
+    size: int = 0                 # payload bytes for data ops
+    client_id: str = ""
+    payload: Optional[bytes] = None  # real bytes (verification paths only)
+    rpc: Any = None               # RpcRequest to reply on (None in unit tests)
+    arrival: float = 0.0
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+
+    def __post_init__(self):
+        if self.size < 0 or self.offset < 0:
+            raise InvalidArgument(
+                f"negative offset/size: {self.offset}/{self.size}")
+        if self.payload is not None and len(self.payload) != self.size:
+            raise InvalidArgument(
+                f"payload length {len(self.payload)} != size {self.size}")
+        if self.op.is_data and self.size == 0 and self.op is OpType.WRITE:
+            raise InvalidArgument("zero-byte write request")
+
+    @property
+    def job_id(self) -> int:
+        return self.job.job_id
+
+    @property
+    def cost(self) -> float:
+        """Service cost in byte-equivalents (scheduler budgeting unit)."""
+        return float(self.size) if self.op.is_data else float(META_COST_BYTES)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<IORequest #{self.req_id} {self.op.value} job={self.job_id} "
+                f"{self.path}@{self.offset}+{self.size}>")

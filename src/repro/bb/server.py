@@ -1,0 +1,220 @@
+"""The ThemisIO burst-buffer server (§4.1).
+
+Four components on each burst-buffer node:
+
+- **job monitor** (:mod:`repro.bb.monitor`) — heartbeat-driven job table;
+- **I/O request communicator** — the RPC surface on the client-facing
+  UCP worker pool; groups inbound requests into per-job queues (inside
+  the scheduler);
+- **controller** (:mod:`repro.bb.controller`) — token allocation and
+  λ-delayed synchronisation with peer servers;
+- **workers** (:mod:`repro.bb.worker`) — service loops sharing the
+  storage device's bandwidth.
+
+The queueing discipline is pluggable: ThemisIO's statistical token
+scheduler or any comparator (FIFO / GIFT / TBF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..core.jobinfo import JobInfo
+from ..core.scheduler import Scheduler
+from ..errors import ConfigError
+from ..fs.filesystem import ThemisFS
+from ..metrics.sampler import ThroughputSampler
+from ..net.fabric import Fabric
+from ..sim.process import Event
+from ..ucx import Address, RpcRequest, RpcServer, UCPContext, WorkerPool
+from ..units import GB, USEC
+from .controller import Controller
+from .monitor import JobMonitor
+from .request import IORequest, OpType
+from .worker import IOWorker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Engine
+
+__all__ = ["Server", "ServerConfig"]
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one burst-buffer server.
+
+    Defaults approximate the paper's testbed: ~22 GB/s combined
+    read+write service rate per server (§1), microsecond-scale request
+    latencies (§5.3.1: "actual response time of each I/O operation is on
+    the order of 1 microsecond").
+    """
+
+    bandwidth: float = 22 * GB        # device service rate, bytes/second
+    n_workers: int = 8                # concurrent I/O workers
+    op_latency: float = 5 * USEC      # fixed per-data-request overhead
+    meta_latency: float = 20 * USEC   # metadata op service time
+    heartbeat_timeout: float = 5.0    # job -> inactive after this silence
+    expire_check_interval: float = 1.0
+    sync_interval: float = 0.5        # λ of §3.1 (500 ms default, §5.6)
+    #: time a controller spends serialising/merging one table exchange;
+    #: §5.6 observes ~50 ms as ThemisIO's effectiveness boundary on
+    #: Frontera, dominated by server processing speed — λ below this
+    #: cannot speed convergence up further.
+    sync_processing_time: float = 0.035
+    client_pool_workers: int = 4      # UCP workers shared among clients
+
+    def __post_init__(self):
+        if self.bandwidth <= 0 or self.n_workers < 1:
+            raise ConfigError("bandwidth must be > 0 and n_workers >= 1")
+        if self.op_latency < 0 or self.meta_latency < 0:
+            raise ConfigError("latencies must be non-negative")
+
+
+class Server:
+    """One burst-buffer node running the full server stack."""
+
+    #: worker name clients address their register/heartbeat traffic to.
+    CTL_WORKER = "ctl"
+
+    def __init__(self, engine: "Engine", fabric: Fabric, name: str,
+                 fs: ThemisFS, scheduler: Scheduler,
+                 config: Optional[ServerConfig] = None,
+                 sampler: Optional[ThroughputSampler] = None):
+        self.engine = engine
+        self.name = name
+        self.fs = fs
+        self.scheduler = scheduler
+        self.config = config or ServerConfig()
+        self.sampler = sampler if sampler is not None else ThroughputSampler()
+
+        self.ctx = UCPContext(engine, fabric, name)
+        self.monitor = JobMonitor(
+            engine, heartbeat_timeout=self.config.heartbeat_timeout,
+            check_interval=self.config.expire_check_interval,
+            on_expire=self._on_jobs_expired)
+        self.controller = Controller(self, self.config.sync_interval)
+
+        # Communicator: control worker + client-facing pool, one RPC
+        # dispatcher per worker.
+        ctl = self.ctx.create_worker(self.CTL_WORKER)
+        RpcServer(ctl, self._on_control)
+        self.pool = WorkerPool(self.ctx, "cs-",
+                               self.config.client_pool_workers)
+        for worker in self.pool.workers:
+            RpcServer(worker, self._on_request)
+        # Server-server sync surface.
+        sync_worker = self.ctx.create_worker("ss")
+        RpcServer(sync_worker, self._on_sync)
+        self.sync_address: Address = sync_worker.address
+
+        self.workers: List[IOWorker] = [
+            IOWorker(self, i) for i in range(self.config.n_workers)]
+        self._work_waiters: List[Event] = []
+        self.errors: List[Tuple[IORequest, Exception]] = []
+
+    # --------------------------------------------------------------- service
+    def service_time(self, request: IORequest) -> float:
+        """Simulated device time one worker spends on *request*."""
+        if request.op.is_data:
+            per_worker_bw = self.config.bandwidth / self.config.n_workers
+            return self.config.op_latency + request.size / per_worker_bw
+        return self.config.meta_latency
+
+    def work_event(self) -> Event:
+        """Event a worker parks on when the scheduler is empty."""
+        ev = Event(self.engine)
+        self._work_waiters.append(ev)
+        return ev
+
+    def _notify_work(self) -> None:
+        waiters, self._work_waiters = self._work_waiters, []
+        for ev in waiters:
+            ev.succeed()
+
+    def record_error(self, request: IORequest, exc: Exception) -> None:
+        """Log a failed request (inspected by tests and operators)."""
+        self.errors.append((request, exc))
+
+    def policy_shares(self, active_jobs) -> Dict[int, float]:
+        """Global policy shares, if this server runs a policy scheduler
+        (comparator disciplines have no share concept -> {})."""
+        policy = getattr(self.scheduler, "policy", None)
+        if policy is None:
+            return {}
+        return policy.shares(active_jobs)
+
+    # ----------------------------------------------------------- communicator
+    def _on_request(self, rpc: RpcRequest) -> None:
+        """An I/O request arrived on a pool worker."""
+        body = rpc.body
+        info: JobInfo = body["job"]
+        changed = self.monitor.observe(info, body.get("client_id", ""))
+        if changed:
+            self.controller.refresh_tokens()
+        request = IORequest(
+            op=OpType(body["op"]),
+            job=info,
+            path=body["path"],
+            offset=body.get("offset", 0),
+            size=body.get("size", 0),
+            client_id=body.get("client_id", ""),
+            payload=body.get("payload"),
+            rpc=rpc,
+            arrival=self.engine.now,
+        )
+        self.scheduler.enqueue(request, self.engine.now)
+        self._notify_work()
+
+    def _on_control(self, rpc: RpcRequest) -> None:
+        """register / heartbeat / goodbye traffic."""
+        body = rpc.body
+        kind = body["kind"]
+        client_id = body["client_id"]
+        if kind == "register":
+            info: JobInfo = body["job"]
+            if self.monitor.observe(info, client_id):
+                self.controller.refresh_tokens()
+            worker = self.pool.assign(client_id)
+            rpc.reply({"ok": True, "io_worker": worker.name})
+        elif kind == "heartbeat":
+            self.monitor.heartbeat(body["job"], client_id)
+            rpc.reply({"ok": True})
+        elif kind == "goodbye":
+            self.pool.release(client_id)
+            job_id = self.monitor.client_exit(client_id)
+            if job_id is not None and not self.monitor.clients_of(job_id):
+                if self.monitor.table.deactivate(job_id):
+                    self.controller.refresh_tokens()
+            rpc.reply({"ok": True})
+        else:
+            rpc.reply({"ok": False, "error": f"unknown control op {kind!r}"})
+
+    def _on_sync(self, rpc: RpcRequest) -> None:
+        self.controller.handle_sync(rpc)
+
+    # ----------------------------------------------------------------- expiry
+    def _on_jobs_expired(self, job_ids: List[int]) -> None:
+        """Heartbeat timeout: drop the jobs' client mappings and re-token."""
+        for job_id in job_ids:
+            clients = self.monitor.clients_of(job_id)
+            self.pool.release_many(clients)
+            for client_id in clients:
+                self.monitor.client_exit(client_id)
+        self.controller.refresh_tokens()
+
+    # ------------------------------------------------------------------ intro
+    def connect_peers(self, peers: Dict[str, Address]) -> None:
+        """Give the controller the peer sync addresses (λ loop starts)."""
+        self.controller.connect_peers(peers)
+
+    @property
+    def served_bytes(self) -> int:
+        return sum(worker.served_bytes for worker in self.workers)
+
+    @property
+    def served_requests(self) -> int:
+        return sum(worker.served_requests for worker in self.workers)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Server {self.name} sched={self.scheduler.name}>"

@@ -1,0 +1,85 @@
+"""Operational statistics: what a burst-buffer operator would watch.
+
+:func:`server_stats` snapshots one server's counters;
+:func:`cluster_summary` renders the whole deployment as a table —
+useful at the end of an experiment to see where cycles went (service,
+idle throttling, lock waits) and whether the token scheduler wasted
+draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from ..harness.report import table
+from ..units import fmt_bw, fmt_bytes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Cluster
+    from .server import Server
+
+__all__ = ["ServerStats", "server_stats", "cluster_summary"]
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Snapshot of one server's counters."""
+
+    name: str
+    scheduler: str
+    served_requests: int
+    served_bytes: int
+    backlog: int
+    idle_cycles: int
+    lock_waits: int
+    errors: int
+    active_jobs: int
+    sync_rounds: int
+    draws: int
+    wasted_draws: int
+    used_bytes: int
+
+    def as_row(self) -> List[object]:
+        """The snapshot as a table row for :func:`cluster_summary`."""
+        return [self.name, self.scheduler, self.served_requests,
+                fmt_bytes(self.served_bytes), self.backlog,
+                self.idle_cycles, self.lock_waits, self.errors,
+                self.active_jobs, self.sync_rounds,
+                f"{self.wasted_draws}/{self.draws}",
+                fmt_bytes(self.used_bytes)]
+
+
+def server_stats(server: "Server") -> ServerStats:
+    """Collect *server*'s counters into a snapshot."""
+    scheduler = server.scheduler
+    return ServerStats(
+        name=server.name,
+        scheduler=scheduler.name,
+        served_requests=server.served_requests,
+        served_bytes=server.served_bytes,
+        backlog=scheduler.backlog,
+        idle_cycles=sum(w.idle_cycles for w in server.workers),
+        lock_waits=sum(w.lock_waits for w in server.workers),
+        errors=len(server.errors),
+        active_jobs=len(server.monitor.table.active_jobs()),
+        sync_rounds=server.controller.sync_rounds,
+        draws=getattr(scheduler, "draws", 0),
+        wasted_draws=getattr(scheduler, "wasted_draws", 0),
+        used_bytes=server.fs.nodes[server.name].backend.used_bytes,
+    )
+
+
+def cluster_summary(cluster: "Cluster") -> str:
+    """A per-server counter table plus the aggregate service rate."""
+    rows = [server_stats(server).as_row()
+            for server in cluster.servers.values()]
+    text = table(
+        ("server", "sched", "reqs", "served", "backlog", "idle",
+         "lock-waits", "errors", "jobs", "syncs", "wasted-draws", "device"),
+        rows, title="cluster summary")
+    now = cluster.engine.now
+    if now > 0:
+        rate = cluster.total_served_bytes() / now
+        text += f"\naggregate service rate: {fmt_bw(rate)} over {now:.2f}s"
+    return text

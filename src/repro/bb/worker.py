@@ -1,0 +1,191 @@
+"""Server I/O workers (§4.1).
+
+"Each worker pops one token at a time and an I/O request identified by
+the token, then processes the I/O request. There can be multiple
+workers for higher I/O throughput."
+
+The token pop is inside the scheduler's ``dequeue``; the worker charges
+the request's service time against its slice of the device bandwidth,
+applies the file-system operation, replies to the client, and records
+the completion.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import FileNotFound, FSError
+from ..fs.striping import map_range
+from .request import IORequest, OpType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import Server
+
+__all__ = ["IOWorker"]
+
+#: Retry delay when a throttling scheduler blocks a backlog and cannot
+#: name a wake-up time (defensive; normal paths use next_eligible_time).
+_BLOCKED_RETRY = 1e-3
+
+#: Backoff while waiting on a conflicting range/metadata lock.
+_LOCK_RETRY = 1e-5
+
+
+class IOWorker:
+    """One service loop; ``n_workers`` of these share the device."""
+
+    def __init__(self, server: "Server", index: int):
+        self.server = server
+        self.index = index
+        self.served_requests = 0
+        self.served_bytes = 0
+        self.idle_cycles = 0
+        self.lock_waits = 0
+        self.locked_ino = None   # range-locked inode during a write
+        self.locked_meta = None  # metadata-locked parent during namespace ops
+        self.process = server.engine.process(self._loop())
+
+    # ------------------------------------------------------------------ loop
+    def _loop(self):
+        server = self.server
+        engine = server.engine
+        scheduler = server.scheduler
+        while True:
+            request = scheduler.dequeue(engine.now)
+            if request is None:
+                if scheduler.backlog == 0:
+                    yield server.work_event()
+                else:
+                    # Throttled (GIFT budget / TBF tokens): idle cycle.
+                    self.idle_cycles += 1
+                    wake = scheduler.next_eligible_time(engine.now)
+                    delay = (wake - engine.now
+                             if wake != float("inf") else _BLOCKED_RETRY)
+                    yield engine.timeout(max(delay, _BLOCKED_RETRY))
+                continue
+            yield from self._acquire_locks(request)
+            yield engine.timeout(server.service_time(request))
+            moved = self._apply(request)
+            self._release_locks(request)
+            self._complete(request, moved)
+
+    # --------------------------------------------------------------- locking
+    def _lock_node(self):
+        return self.server.fs.nodes[self.server.name]
+
+    def _acquire_locks(self, request: IORequest):
+        """Enforce §4.3's concurrency rules before servicing.
+
+        Reads take no lock; writes take byte-range write locks
+        (conflicting ranges serialise); namespace updates take the
+        parent directory's metadata lock. Conflicts are rare — waiting
+        workers poll with a short backoff.
+        """
+        engine = self.server.engine
+        node = self._lock_node()
+        if request.op is OpType.WRITE:
+            inode = self.server.fs.lookup(request.path)
+            if inode is None:
+                return
+            self.locked_ino = inode.ino
+            while not node.range_locks.try_lock_write(
+                    inode.ino, request.offset, request.size, self):
+                self.lock_waits += 1
+                yield engine.timeout(_LOCK_RETRY)
+        elif request.op in (OpType.OPEN, OpType.UNLINK, OpType.MKDIR):
+            parent = self.server.fs.lookup(
+                request.path.rsplit("/", 1)[0] or "/")
+            if parent is None:
+                return
+            self.locked_meta = parent.ino
+            while not node.meta_locks.try_lock(parent.ino, self):
+                self.lock_waits += 1
+                yield engine.timeout(_LOCK_RETRY)
+
+    def _release_locks(self, request: IORequest) -> None:
+        node = self._lock_node()
+        if self.locked_ino is not None:
+            node.range_locks.unlock_write(self.locked_ino, self)
+            self.locked_ino = None
+        if self.locked_meta is not None:
+            node.meta_locks.unlock(self.locked_meta, self)
+            self.locked_meta = None
+
+    # --------------------------------------------------------------- execute
+    def _apply(self, request: IORequest) -> int:
+        """Run the FS operation; returns data bytes moved."""
+        fs = self.server.fs
+        path = request.path
+        op = request.op
+        try:
+            if op is OpType.WRITE:
+                if request.payload is not None:
+                    return self._write_exact(request)
+                end = request.offset + request.size
+                fs.write_accounting(path, end, 0)
+                return request.size
+            if op is OpType.READ:
+                if request.payload is not None:  # pragma: no cover - reads carry none
+                    raise FSError("read requests carry no payload")
+                return fs.read_accounting(path, request.offset, request.size)
+            if op is OpType.OPEN:
+                if not fs.exists(path):
+                    fs.create(path, uid=request.job.job_id)
+                return 0
+            if op is OpType.STAT:
+                fs.stat(path)
+                return 0
+            if op is OpType.READDIR:
+                fs.readdir(path)
+                return 0
+            if op is OpType.UNLINK:
+                if fs.exists(path):
+                    fs.unlink(path)
+                return 0
+            if op is OpType.MKDIR:
+                if not fs.exists(path):
+                    fs.mkdir(path)
+                return 0
+        except FileNotFound:
+            if op.is_data:
+                self.server.record_error(request, FileNotFound(path))
+            # Metadata miss (e.g. iops_stat's random names): a normal
+            # ENOENT outcome, served and answered like any other op.
+            return 0
+        except FSError as exc:
+            self.server.record_error(request, exc)
+            return 0
+        raise FSError(f"unhandled op {op}")  # pragma: no cover
+
+    def _write_exact(self, request: IORequest) -> int:
+        """Verification path: write real bytes to this server's chunks only."""
+        fs = self.server.fs
+        inode = fs.lookup(request.path)
+        if inode is None:
+            self.server.record_error(request, FSError(request.path))
+            return 0
+        written = 0
+        node = fs.nodes[self.server.name]
+        for piece in map_range(inode.stripe, request.offset, request.size):
+            if piece.server != self.server.name:
+                continue
+            lo = piece.file_offset - request.offset
+            data = request.payload[lo:lo + piece.length]
+            node.write_chunk(inode.ino, piece.chunk_index, piece.chunk_offset,
+                             data, fs.stripe_size)
+            written += piece.length
+        end = request.offset + request.size
+        if end > inode.size:
+            inode.size = end
+        return written
+
+    def _complete(self, request: IORequest, moved: int) -> None:
+        server = self.server
+        data_bytes = moved if request.op.is_data else 0
+        self.served_requests += 1
+        self.served_bytes += data_bytes
+        server.sampler.record(server.engine.now, request.job_id,
+                              data_bytes, request.op.value)
+        if request.rpc is not None:
+            resp_size = moved if request.op is OpType.READ else 0
+            request.rpc.reply({"ok": True, "bytes": moved}, size=resp_size)

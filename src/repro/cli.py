@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``
+    List the reproducible paper figures.
+``figure NAME``
+    Run one figure experiment and print its paper-style report
+    (e.g. ``python -m repro figure fig08a --scale 0.1``).
+``policies``
+    List accepted sharing-policy spellings with their parsed levels.
+``sharing``
+    Ad-hoc two-phase sharing run: ``--policy size-fair --jobs
+    4:alice,1:bob`` runs one job per entry (``nodes:user[:group]``),
+    first job for the whole window, the rest joining a quarter in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.policy import Policy
+from .errors import ReproError
+from .harness import experiments as exps
+from .harness.config import JobRun
+from .harness.experiments import run_sharing_experiment
+from .units import fmt_bw
+from .workloads import JobSpec, WriteReadCycle
+from .units import MB
+
+__all__ = ["main", "FIGURES"]
+
+#: figure name -> (callable, kwargs builder from args)
+FIGURES = {
+    "fig01": lambda a: exps.fig01_interference(seed=a.seed),
+    "fig07": lambda a: exps.fig07_scaling(),
+    "fig08a": lambda a: exps.fig08_primitive("size-fair", scale=a.scale,
+                                             seed=a.seed),
+    "fig08b": lambda a: exps.fig08_primitive("job-fair", scale=a.scale,
+                                             seed=a.seed),
+    "fig08c": lambda a: exps.fig08c_user_fair(scale=a.scale, seed=a.seed),
+    "fig09": lambda a: exps.fig09_user_then_size(scale=a.scale, seed=a.seed),
+    "fig10": lambda a: exps.fig10_group_user_size(scale=a.scale, seed=a.seed),
+    "fig12": lambda a: exps.fig12_baselines(scale=a.scale, seed=a.seed),
+    "fig13": lambda a: exps.fig13_applications(seed=a.seed),
+    "fig14": lambda a: exps.fig14_lambda(seed=a.seed),
+    "datawarp": lambda a: exps.related_datawarp(seed=a.seed),
+}
+
+_POLICY_EXAMPLES = [
+    "job-fair", "size-fair", "user-fair", "priority-fair", "group-fair",
+    "user-then-job-fair", "user-then-size-fair", "group-then-user-fair",
+    "group-user-then-size-fair", "group-user-size-fair",
+]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ThemisIO reproduction: run paper experiments and "
+                    "ad-hoc sharing studies.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list reproducible figures")
+    sub.add_parser("policies", help="list sharing-policy spellings")
+
+    fig = sub.add_parser("figure", help="run one figure experiment")
+    fig.add_argument("name", choices=sorted(FIGURES))
+    fig.add_argument("--scale", type=float, default=0.1,
+                     help="timeline scale vs the paper's 60 s (default 0.1)")
+    fig.add_argument("--seed", type=int, default=0)
+
+    share = sub.add_parser("sharing", help="ad-hoc two-phase sharing run")
+    share.add_argument("--policy", default="size-fair",
+                       help="policy string, or fifo/gift/tbf")
+    share.add_argument("--jobs", default="4:alice,1:bob",
+                       help="comma list of nodes:user[:group] entries")
+    share.add_argument("--scale", type=float, default=0.1)
+    share.add_argument("--seed", type=int, default=0)
+    share.add_argument("--servers", type=int, default=1)
+    return parser
+
+
+def _parse_jobs(spec: str) -> List[JobSpec]:
+    jobs = []
+    for idx, entry in enumerate(spec.split(",")):
+        parts = entry.strip().split(":")
+        if len(parts) < 2:
+            raise ReproError(
+                f"bad job entry {entry!r}: expected nodes:user[:group]")
+        nodes = int(parts[0])
+        user = parts[1]
+        group = parts[2] if len(parts) > 2 else "g0"
+        jobs.append(JobSpec(job_id=idx + 1, user=user, group=group,
+                            nodes=nodes))
+    return jobs
+
+
+def _cmd_figures() -> int:
+    for name in sorted(FIGURES):
+        print(name)
+    return 0
+
+
+def _cmd_policies() -> int:
+    width = max(len(s) for s in _POLICY_EXAMPLES)
+    for spec in _POLICY_EXAMPLES:
+        policy = Policy.parse(spec)
+        levels = " -> ".join(level.value for level in policy.levels)
+        print(f"{spec.ljust(width)}  {levels}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    result = FIGURES[args.name](args)
+    print(result.report())
+    return 0
+
+
+def _cmd_sharing(args) -> int:
+    specs = _parse_jobs(args.jobs)
+    window = 60.0 * args.scale
+    join_at = window / 4
+    runs = []
+    for i, spec in enumerate(specs):
+        start = 0.0 if i == 0 else join_at
+        runs.append(JobRun(
+            spec=spec,
+            workload=WriteReadCycle(file_size=10 * MB, streams_per_node=16),
+            start=start, stop=window))
+    result = run_sharing_experiment(args.policy, runs,
+                                    n_servers=args.servers,
+                                    scale=args.scale, seed=args.seed)
+    interval = result.config.sample_interval
+    print(f"policy={args.policy} servers={args.servers} "
+          f"window={window:.1f}s")
+    for spec in specs:
+        rate = result.median_throughput(spec.job_id,
+                                        t0=join_at + 2 * interval, t1=window)
+        print(f"  job{spec.job_id} ({spec.nodes} nodes, {spec.user}/"
+              f"{spec.group}): {fmt_bw(rate)}")
+    total = result.window_throughput(join_at + 2 * interval, window)
+    print(f"  total: {fmt_bw(total)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "figures":
+            return _cmd_figures()
+        if args.command == "policies":
+            return _cmd_policies()
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "sharing":
+            return _cmd_sharing(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

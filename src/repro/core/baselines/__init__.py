@@ -1,0 +1,7 @@
+"""Comparator scheduling disciplines (§5.4): FIFO, GIFT, TBF."""
+
+from .fifo import FifoScheduler
+from .gift import GiftScheduler
+from .tbf import TbfScheduler
+
+__all__ = ["FifoScheduler", "GiftScheduler", "TbfScheduler"]

@@ -1,0 +1,35 @@
+"""FIFO: the production-default baseline (§1, §2.2.1).
+
+One global queue, arrival order. This is what lets "highly concurrent
+and bursty I/O traffic from one application saturate the I/O system's
+queue, then block the I/O of another application" — the behaviour every
+experiment in the paper compares against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from ..scheduler import Scheduler
+
+__all__ = ["FifoScheduler"]
+
+
+class FifoScheduler(Scheduler):
+    """First-in-first-out over a single shared queue."""
+
+    name = "fifo"
+
+    def __init__(self):
+        self._queue: Deque[Any] = deque()
+
+    def enqueue(self, request: Any, now: float) -> None:
+        self._queue.append(request)
+
+    def dequeue(self, now: float) -> Optional[Any]:
+        return self._queue.popleft() if self._queue else None
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,114 @@
+"""λ-delayed global fairness helpers (§3.1).
+
+With files on disjoint servers, each server initially has only local job
+information and its token assignment is globally unfair (Fig. 5).
+Controllers "perform an all-gather on the job status table every λ time
+interval", bounding how long a globally unfair state can last.
+
+The messaging lives in the burst-buffer controller
+(:mod:`repro.bb.controller`); this module holds the pure pieces: the
+all-gather merge over snapshots and the unfairness metric used by the
+λ-sweep experiment (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Set
+
+import numpy as np
+
+from .jobinfo import JobStatusTable
+
+__all__ = ["all_gather_merge", "total_variation", "global_share_error",
+           "placement_shares"]
+
+
+def all_gather_merge(tables: Sequence[JobStatusTable]) -> bool:
+    """Synchronise *tables* as an all-gather: every table absorbs every
+    other table's snapshot (newest heartbeat wins). Returns True if any
+    table's active set changed.
+
+    Snapshots are taken before merging, so the result is order-independent
+    — exactly what a collective exchange gives each controller.
+    """
+    snapshots = [table.snapshot() for table in tables]
+    changed = False
+    for i, table in enumerate(tables):
+        for k, snapshot in enumerate(snapshots):
+            if i != k:
+                changed |= table.merge(snapshot)
+    return changed
+
+
+def placement_shares(presence: Dict[str, Set[int]],
+                     global_shares: Dict[int, float],
+                     iterations: int = 100,
+                     tol: float = 1e-9) -> Dict[str, Dict[int, float]]:
+    """Per-server token assignments honouring global shares under
+    placement constraints (the Fig. 5 adjustment).
+
+    A job can only consume cycles on servers that host its files. Given
+    which jobs each server hosts (*presence*) and the policy's global
+    shares, find per-server segment maps such that each server's
+    segments sum to 1 and each job's total across servers matches its
+    global entitlement (``share x n_servers`` server-units). This is a
+    transportation polytope projection, solved by iterative proportional
+    fitting (RAS): alternately rescale rows to server capacity and
+    columns to job entitlement.
+
+    For Fig. 5's example — job 1 (16 nodes) on both servers, jobs 2 and
+    3 (8 nodes each) on one server each, size-fair — this yields exactly
+    the paper's adjustment: job 1's token drops from 0.66 to 0.5 on both
+    servers. Infeasible entitlements (a job entitled to more capacity
+    than its servers have) converge to the closest feasible point.
+    """
+    servers = sorted(presence)
+    jobs = sorted(global_shares)
+    if not servers or not jobs:
+        return {s: {} for s in servers}
+    index = {j: k for k, j in enumerate(jobs)}
+    A = np.zeros((len(servers), len(jobs)))
+    for row, server in enumerate(servers):
+        for job_id in presence[server]:
+            col = index.get(job_id)
+            if col is not None and global_shares[job_id] > 0:
+                A[row, col] = global_shares[job_id]
+    targets = np.array([global_shares[j] for j in jobs]) * len(servers)
+    for _ in range(iterations):
+        row_sums = A.sum(axis=1, keepdims=True)
+        A = np.divide(A, row_sums, out=A, where=row_sums > 0)
+        col_sums = A.sum(axis=0)
+        scale = np.divide(targets, col_sums,
+                          out=np.ones_like(targets), where=col_sums > 0)
+        A = A * scale
+        if (np.allclose(A.sum(axis=1)[A.sum(axis=1) > 0], 1.0, atol=tol)
+                and np.allclose(A.sum(axis=0)[col_sums > 0],
+                                targets[col_sums > 0], atol=tol)):
+            break
+    # Leave each server with a proper distribution.
+    row_sums = A.sum(axis=1, keepdims=True)
+    A = np.divide(A, row_sums, out=A, where=row_sums > 0)
+    return {
+        server: {jobs[c]: float(A[r, c]) for c in range(len(jobs))
+                 if A[r, c] > 0}
+        for r, server in enumerate(servers)
+    }
+
+
+def total_variation(a: Dict[int, float], b: Dict[int, float]) -> float:
+    """Total-variation distance between two share maps (0 = identical,
+    1 = disjoint). Missing keys count as zero share."""
+    keys = set(a) | set(b)
+    return 0.5 * sum(abs(a.get(k, 0.0) - b.get(k, 0.0)) for k in keys)
+
+
+def global_share_error(local_shares: Sequence[Dict[int, float]],
+                       global_shares: Dict[int, float]) -> float:
+    """Worst-server deviation from the globally fair assignment.
+
+    The Fig. 14 experiment tracks how quickly this drops to ~0 after
+    ThemisIO starts in an unfair state; it cannot exceed 1.
+    """
+    if not local_shares:
+        return 0.0
+    return max(total_variation(local, global_shares) for local in local_shares)

@@ -1,0 +1,135 @@
+"""Transition matrices and the Eq. 1 chain product (§3).
+
+The statistical token assignment for a composite policy is evaluated as
+
+    prod_{i=0}^{N-1} T^i        (Eq. 1)
+
+where ``T^i`` is the transition matrix of sharing-entity level *i*: each
+row is a token queue (an entity scope of level *i-1*), each column an
+entity of level *i*, and entry ``T[j, k]`` is entity *k*'s fair share
+**within its local scope**. Consequently each row sums to one and each
+column has exactly one non-zero entry (an entity belongs to exactly one
+parent scope). The product collapses the hierarchy into a single row
+vector of per-job shares of [0, 1] — the statistical tokens of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PolicyError
+from .jobinfo import JobInfo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .policy import Level
+
+__all__ = ["build_transition_matrices", "chain_product", "chain_shares",
+           "validate_transition_matrix"]
+
+
+def _entity_key(level: "Level", job: JobInfo):
+    """The entity a job belongs to at a non-terminal *level*."""
+    if level.value == "group":
+        return job.group
+    if level.value == "user":
+        return job.user
+    raise PolicyError(f"level {level.value!r} has no entity key")
+
+
+def _terminal_weight(level: "Level", job: JobInfo) -> float:
+    """A job's weight within its scope at the terminal *level*."""
+    if level.value == "job":
+        return 1.0
+    if level.value == "size":
+        return float(job.size)
+    if level.value == "priority":
+        return float(job.priority)
+    raise PolicyError(f"level {level.value!r} is not terminal")
+
+
+def build_transition_matrices(
+        levels: Sequence["Level"],
+        jobs: Sequence[JobInfo]) -> Tuple[List[np.ndarray], List[int]]:
+    """Build the ``T^i`` chain for *levels* over *jobs*.
+
+    Returns ``(matrices, job_ids)`` where the final matrix's columns are
+    ordered by ``job_ids`` (ascending). Jobs must have distinct ids.
+    """
+    jobs = sorted(jobs, key=lambda j: j.job_id)
+    job_ids = [j.job_id for j in jobs]
+    if len(set(job_ids)) != len(job_ids):
+        raise PolicyError(f"duplicate job ids: {job_ids}")
+    if not jobs:
+        return [], []
+
+    *heads, tail = levels
+
+    # Scopes: a job's scope key after consuming the first i levels.
+    def scope_key(job: JobInfo, depth: int) -> tuple:
+        return tuple(_entity_key(levels[i], job) for i in range(depth))
+
+    matrices: List[np.ndarray] = []
+    # Entities at each level, in deterministic (sorted) order.
+    parent_scopes: List[tuple] = [()]  # the virtual root
+    for depth, level in enumerate(heads):
+        child_scopes = sorted({scope_key(j, depth + 1) for j in jobs})
+        T = np.zeros((len(parent_scopes), len(child_scopes)))
+        for col, child in enumerate(child_scopes):
+            row = parent_scopes.index(child[:depth])
+            T[row, col] = 1.0  # placeholder; normalised below
+        # Even split within each parent scope (group-/user-fair tiers).
+        row_counts = T.sum(axis=1, keepdims=True)
+        T = np.divide(T, row_counts, out=np.zeros_like(T),
+                      where=row_counts > 0)
+        matrices.append(T)
+        parent_scopes = child_scopes
+
+    # Terminal level: columns are jobs, weighted by the tail rule.
+    depth = len(heads)
+    T = np.zeros((len(parent_scopes), len(jobs)))
+    for col, job in enumerate(jobs):
+        row = parent_scopes.index(scope_key(job, depth))
+        T[row, col] = _terminal_weight(tail, job)
+    row_sums = T.sum(axis=1, keepdims=True)
+    T = np.divide(T, row_sums, out=np.zeros_like(T), where=row_sums > 0)
+    matrices.append(T)
+    return matrices, job_ids
+
+
+def validate_transition_matrix(T: np.ndarray, atol: float = 1e-9) -> None:
+    """Check the §3 structural constraints; raise PolicyError if violated."""
+    if T.ndim != 2:
+        raise PolicyError(f"transition matrix must be 2-D, got shape {T.shape}")
+    row_sums = T.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=atol):
+        raise PolicyError(f"rows must sum to 1, got {row_sums}")
+    if np.any(T < -atol):
+        raise PolicyError("negative entries in transition matrix")
+    nonzero_per_col = (T > atol).sum(axis=0)
+    if np.any(nonzero_per_col != 1):
+        raise PolicyError(
+            f"each column must have exactly one non-zero entry, got "
+            f"{nonzero_per_col}")
+
+
+def chain_product(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Evaluate Eq. 1: the ordered product of the transition matrices."""
+    if not matrices:
+        return np.zeros((1, 0))
+    out = matrices[0]
+    for T in matrices[1:]:
+        out = out @ T
+    return out
+
+
+def chain_shares(levels: Sequence["Level"],
+                 jobs: Sequence[JobInfo]) -> Dict[int, float]:
+    """Per-job shares of [0, 1] for *levels* over *jobs* (sums to 1)."""
+    if not jobs:
+        return {}
+    matrices, job_ids = build_transition_matrices(levels, jobs)
+    shares = chain_product(matrices)
+    flat = np.asarray(shares).reshape(-1)
+    return {job_id: float(s) for job_id, s in zip(job_ids, flat)}

@@ -1,0 +1,81 @@
+"""Per-entity request queues (§4.1's communicator queues).
+
+Inbound I/O requests "are grouped into queues based on the fair sharing
+policy ... identified by job ids". Queue items only need a ``job_id``
+attribute plus a ``cost`` (bytes of service the request consumes); the
+burst-buffer request type satisfies this protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from ..errors import SchedulerError
+
+__all__ = ["QueueSet"]
+
+
+class QueueSet:
+    """A set of FIFO queues keyed by job id."""
+
+    def __init__(self):
+        self._queues: Dict[int, Deque[Any]] = {}
+        self._total = 0
+        self._total_cost = 0.0
+
+    def push(self, item: Any) -> None:
+        """Append *item* to its job's queue."""
+        job_id = item.job_id
+        queue = self._queues.get(job_id)
+        if queue is None:
+            queue = self._queues[job_id] = deque()
+        queue.append(item)
+        self._total += 1
+        self._total_cost += item.cost
+
+    def pop(self, job_id: int) -> Any:
+        """Remove and return the oldest request of *job_id*."""
+        queue = self._queues.get(job_id)
+        if not queue:
+            raise SchedulerError(f"pop from empty queue for job {job_id}")
+        item = queue.popleft()
+        self._total -= 1
+        self._total_cost -= item.cost
+        if not queue:
+            del self._queues[job_id]
+        return item
+
+    def peek(self, job_id: int) -> Optional[Any]:
+        """The oldest queued request of *job_id* without removing it (None if empty)."""
+        queue = self._queues.get(job_id)
+        return queue[0] if queue else None
+
+    def depth(self, job_id: int) -> int:
+        """Number of requests queued for *job_id*."""
+        queue = self._queues.get(job_id)
+        return len(queue) if queue else 0
+
+    def queued_cost(self, job_id: int) -> float:
+        """Total service cost queued for *job_id* (GIFT demand estimate)."""
+        queue = self._queues.get(job_id)
+        return sum(item.cost for item in queue) if queue else 0.0
+
+    def nonempty_jobs(self) -> List[int]:
+        """Job ids with at least one queued request, sorted."""
+        return sorted(self._queues)
+
+    @property
+    def total(self) -> int:
+        """Total queued requests across all jobs."""
+        return self._total
+
+    @property
+    def total_cost(self) -> float:
+        return self._total_cost
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __bool__(self) -> bool:
+        return self._total > 0

@@ -1,0 +1,152 @@
+"""Request schedulers: the abstract interface and ThemisIO's statistical
+token scheduler (§3, §4.1).
+
+A scheduler owns the server's pending-request queues and decides which
+request an I/O worker serves next. The interface is deliberately small
+so the paper's comparators (FIFO, GIFT, TBF — see
+:mod:`repro.core.baselines`) plug into the same server:
+
+- ``enqueue(request, now)`` — communicator hands over an arrived request;
+- ``dequeue(now)`` — a free worker asks for the next request; ``None``
+  means "nothing may run right now" (an idle cycle);
+- ``on_jobs_changed(active_jobs, now)`` — controller pushes the merged
+  job table whenever membership changes (token reallocation);
+- ``next_eligible_time(now)`` — earliest time a blocked backlog could
+  become serviceable (lets throttling schedulers tell workers when to
+  retry; ``inf`` for work-conserving schedulers).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SchedulerError
+from .jobinfo import JobInfo
+from .policy import Policy
+from .queues import QueueSet
+from .tokens import TokenAssignment
+
+__all__ = ["Scheduler", "StatisticalTokenScheduler"]
+
+
+class Scheduler(ABC):
+    """Interface every queueing discipline implements."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def enqueue(self, request: Any, now: float) -> None:
+        """Accept an arrived request."""
+
+    @abstractmethod
+    def dequeue(self, now: float) -> Optional[Any]:
+        """Pick the next request to serve, or None for an idle cycle."""
+
+    def on_jobs_changed(self, active_jobs: Sequence[JobInfo],
+                        now: float) -> None:
+        """React to a change in the active-job set (default: ignore)."""
+
+    def set_assignment(self, shares: "dict[int, float]", now: float) -> None:
+        """Install an explicit share map (placement-adjusted tokens from
+        the controller's λ-sync, Fig. 5). Default: ignore — only the
+        statistical token scheduler consumes shares."""
+
+    @property
+    @abstractmethod
+    def backlog(self) -> int:
+        """Number of queued requests."""
+
+    def next_eligible_time(self, now: float) -> float:
+        """Earliest time a blocked backlog becomes serviceable (inf = now/never)."""
+        return float("inf")
+
+
+class StatisticalTokenScheduler(Scheduler):
+    """ThemisIO's scheduler: statistical tokens + opportunity fairness.
+
+    Each dequeue draws ``u ~ U[0, 1)`` and serves the job whose token
+    segment contains it. With *opportunity_fair* (the ThemisIO design),
+    segments are renormalised over jobs that currently have queued
+    requests, so no draw is wasted and idle cycles flow to jobs with
+    demand; a backlogged job still receives at least its policy share.
+    With ``opportunity_fair=False`` (ablation), draws use the full
+    assignment and a draw landing on an idle job's segment wastes the
+    cycle — the behaviour of a mandatory bandwidth assignment.
+
+    Jobs that have queued requests but are not yet in the token
+    assignment (first requests racing the job-table update) are treated
+    as holding the mean share until the controller recomputes tokens.
+    """
+
+    name = "themis"
+
+    def __init__(self, policy: Policy, rng: np.random.Generator,
+                 opportunity_fair: bool = True):
+        self.policy = policy
+        self.rng = rng
+        self.opportunity_fair = bool(opportunity_fair)
+        self.queues = QueueSet()
+        self.assignment: Optional[TokenAssignment] = None
+        self.draws = 0
+        self.wasted_draws = 0
+
+    # -------------------------------------------------------------- interface
+    def enqueue(self, request: Any, now: float) -> None:
+        self.queues.push(request)
+
+    def on_jobs_changed(self, active_jobs: Sequence[JobInfo],
+                        now: float) -> None:
+        shares = self.policy.shares(active_jobs)
+        self.assignment = TokenAssignment(shares) if shares else None
+
+    def set_assignment(self, shares, now: float) -> None:
+        positive = {j: s for j, s in shares.items() if s > 0}
+        self.assignment = TokenAssignment(positive) if positive else None
+
+    def dequeue(self, now: float) -> Optional[Any]:
+        if not self.queues:
+            return None
+        backlogged: List[int] = self.queues.nonempty_jobs()
+        if self.assignment is None:
+            # No token info yet: serve uniformly among backlogged jobs.
+            job_id = backlogged[self._draw_index(len(backlogged))]
+            return self.queues.pop(job_id)
+
+        if not self.opportunity_fair:
+            self.draws += 1
+            job_id = self.assignment.draw(float(self.rng.random()))
+            if self.queues.depth(job_id) == 0:
+                self.wasted_draws += 1
+                return None
+            return self.queues.pop(job_id)
+
+        # Opportunity fairness: renormalise over backlogged jobs, giving
+        # not-yet-assigned jobs the mean share.
+        mean_share = 1.0 / max(len(self.assignment), 1)
+        shares = {}
+        for job_id in backlogged:
+            if job_id in self.assignment:
+                share = self.assignment.share(job_id)
+                shares[job_id] = share if share > 0 else mean_share
+            else:
+                shares[job_id] = mean_share
+        self.draws += 1
+        choice = TokenAssignment(shares).draw(float(self.rng.random()))
+        return self.queues.pop(choice)
+
+    @property
+    def backlog(self) -> int:
+        return self.queues.total
+
+    # --------------------------------------------------------------- helpers
+    def _draw_index(self, n: int) -> int:
+        if n <= 0:
+            raise SchedulerError("no backlogged jobs to draw from")
+        return int(self.rng.integers(0, n))
+
+    def current_shares(self) -> dict:
+        """The live token assignment (job id -> share), {} if none."""
+        return self.assignment.as_dict() if self.assignment else {}

@@ -1,0 +1,96 @@
+"""Statistical token assignment: shares as segments of [0, 1] (§3).
+
+"We divide the range [0, 1] into several segments, with the segment
+length proportional to the token counts. Then an I/O worker draws a
+random number within [0, 1]. The I/O request of a job is processed if
+the random number falls in its corresponding segment."
+
+:class:`TokenAssignment` is that segmentation: built from a share map,
+it answers ``draw(u)`` in O(log n) via a cumulative-boundary search, and
+``restrict(eligible)`` renormalises over a subset — the mechanism behind
+*opportunity fairness* (unused cycles flow to jobs that can use them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SchedulerError
+
+__all__ = ["TokenAssignment"]
+
+
+class TokenAssignment:
+    """An immutable partition of [0, 1] into per-job segments."""
+
+    def __init__(self, shares: Dict[int, float]):
+        if not shares:
+            raise SchedulerError("empty share map")
+        items = sorted(shares.items())
+        values = np.array([s for _, s in items], dtype=float)
+        if np.any(values < 0):
+            raise SchedulerError(f"negative share in {shares}")
+        total = values.sum()
+        if total <= 0:
+            raise SchedulerError(f"shares sum to zero: {shares}")
+        self.job_ids: List[int] = [job_id for job_id, _ in items]
+        self.shares = values / total
+        self._cum = np.cumsum(self.shares)
+        self._cum[-1] = 1.0  # guard against floating-point shortfall
+        self._index = {job_id: i for i, job_id in enumerate(self.job_ids)}
+
+    # ----------------------------------------------------------------- draws
+    def draw(self, u: float) -> int:
+        """The job whose segment contains *u* (u in [0, 1))."""
+        if not 0.0 <= u < 1.0:
+            raise SchedulerError(f"draw needs u in [0, 1): {u}")
+        idx = int(np.searchsorted(self._cum, u, side="right"))
+        return self.job_ids[min(idx, len(self.job_ids) - 1)]
+
+    def segment(self, job_id: int) -> Tuple[float, float]:
+        """The ``[lo, hi)`` segment assigned to *job_id*."""
+        i = self._lookup(job_id)
+        lo = float(self._cum[i - 1]) if i > 0 else 0.0
+        return lo, float(self._cum[i])
+
+    def share(self, job_id: int) -> float:
+        """The normalised share of *job_id*."""
+        return float(self.shares[self._lookup(job_id)])
+
+    def _lookup(self, job_id: int) -> int:
+        try:
+            return self._index[job_id]
+        except KeyError:
+            raise SchedulerError(f"job {job_id} not in assignment") from None
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._index
+
+    def __len__(self) -> int:
+        return len(self.job_ids)
+
+    # --------------------------------------------------------- restriction
+    def restrict(self, eligible: Iterable[int]) -> Optional["TokenAssignment"]:
+        """Renormalise over the *eligible* subset (opportunity fairness).
+
+        Jobs outside this assignment are ignored; returns None when no
+        eligible job remains. The relative proportions among eligible
+        jobs are preserved, so a backlogged job never receives less than
+        its policy share of the server.
+        """
+        subset = {job_id: self.share(job_id)
+                  for job_id in eligible if job_id in self._index}
+        subset = {j: s for j, s in subset.items() if s > 0}
+        if not subset:
+            return None
+        return TokenAssignment(subset)
+
+    def as_dict(self) -> Dict[int, float]:
+        """The assignment as a plain ``{job_id: share}`` map."""
+        return {job_id: float(s) for job_id, s in zip(self.job_ids, self.shares)}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = ", ".join(f"{j}:{s:.3f}" for j, s in self.as_dict().items())
+        return f"<TokenAssignment {parts}>"

@@ -1,0 +1,246 @@
+"""Namespace journaling and crash recovery (§7 future work, metadata half).
+
+The log-structured backend (:mod:`repro.fs.logstore`) makes chunk *data*
+recoverable; this module makes the *namespace* recoverable. A
+:class:`NamespaceJournal` records every namespace mutation (mkdir,
+create, unlink, rmdir, truncate, size extension) as a durable,
+replayable record, with optional checkpoints that compact the record
+stream. :class:`JournaledFS` is a drop-in :class:`~repro.fs.ThemisFS`
+that writes the journal as it mutates, and can :meth:`crash` (losing
+every volatile table) and :meth:`recover` (checkpoint + replay, then a
+segment scan of each log-backed store).
+
+Inode numbers are recorded and restored, so recovered metadata lines up
+with the data records keyed ``(ino, chunk)`` in the log store.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import FSError
+from . import path as pathmod
+from .filesystem import ThemisFS
+from .metadata import FileType, Inode
+from .striping import StripeSpec
+
+__all__ = ["NamespaceJournal", "JournalRecord", "JournaledFS"]
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable namespace mutation."""
+
+    seq: int
+    op: str
+    args: Dict[str, Any]
+
+
+@dataclass
+class NamespaceJournal:
+    """Append-only mutation log with checkpoint compaction."""
+
+    records: List[JournalRecord] = field(default_factory=list)
+    checkpoint: Optional[List[Dict[str, Any]]] = None
+    _seq: itertools.count = field(default_factory=lambda: itertools.count(1))
+    checkpoints_taken: int = 0
+
+    def log(self, op: str, **args: Any) -> JournalRecord:
+        """Append one mutation record and return it."""
+        record = JournalRecord(seq=next(self._seq), op=op, args=args)
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def take_checkpoint(self, fs: ThemisFS) -> None:
+        """Snapshot the namespace and truncate the record stream."""
+        snapshot: List[Dict[str, Any]] = []
+        for node in fs.nodes.values():
+            for inode in node.inodes.values():
+                entry = {
+                    "path": inode.path,
+                    "ino": inode.ino,
+                    "ftype": inode.ftype.value,
+                    "size": inode.size,
+                    "uid": inode.uid,
+                }
+                if inode.stripe is not None:
+                    entry["stripe_servers"] = list(inode.stripe.servers)
+                snapshot.append(entry)
+        snapshot.sort(key=lambda e: (len(pathmod.components(e["path"])),
+                                     e["path"]))
+        self.checkpoint = snapshot
+        self.records = []
+        self.checkpoints_taken += 1
+
+
+class JournaledFS(ThemisFS):
+    """A ThemisFS whose namespace mutations are journaled.
+
+    Combine with ``storage_backend="log"`` for full crash recovery of
+    both metadata and data.
+    """
+
+    def __init__(self, *args, journal: Optional[NamespaceJournal] = None,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        self.journal = journal if journal is not None else NamespaceJournal()
+        self._replaying = False
+
+    # ------------------------------------------------------- logged mutators
+    def mkdir(self, path: str, ino: Optional[int] = None) -> Inode:
+        inode = self._mkdir_raw(path, ino)
+        if not self._replaying:
+            self.journal.log("mkdir", path=inode.path, ino=inode.ino)
+        return inode
+
+    def create(self, path: str, stripe_count: Optional[int] = None,
+               uid: int = 0, ino: Optional[int] = None) -> Inode:
+        inode = self._create_raw(path, stripe_count, uid, ino)
+        if not self._replaying:
+            self.journal.log("create", path=inode.path, ino=inode.ino,
+                             uid=uid,
+                             stripe_servers=list(inode.stripe.servers))
+        return inode
+
+    def unlink(self, path: str) -> None:
+        norm = pathmod.normalize(path)
+        super().unlink(norm)
+        if not self._replaying:
+            self.journal.log("unlink", path=norm)
+
+    def rmdir(self, path: str) -> None:
+        norm = pathmod.normalize(path)
+        super().rmdir(norm)
+        if not self._replaying:
+            self.journal.log("rmdir", path=norm)
+
+    def truncate(self, path: str, size: int = 0) -> None:
+        norm = pathmod.normalize(path)
+        super().truncate(norm, size)
+        if not self._replaying:
+            self.journal.log("truncate", path=norm, size=size)
+
+    def write(self, path: str, offset: int, data: bytes) -> int:
+        return self._logged_extend(path, super().write(path, offset, data),
+                                   offset, len(data))
+
+    def write_accounting(self, path: str, offset: int, length: int) -> int:
+        return self._logged_extend(
+            path, super().write_accounting(path, offset, length),
+            offset, length)
+
+    def _logged_extend(self, path: str, result: int, offset: int,
+                       length: int) -> int:
+        if not self._replaying:
+            inode = self.lookup(path)
+            if inode is not None and inode.size == offset + length:
+                # The write extended the file: record the new size.
+                self.journal.log("extend", path=inode.path, size=inode.size)
+        return result
+
+    # ------------------------------------------------------ raw (unlogged)
+    def _mkdir_raw(self, path: str, ino: Optional[int]) -> Inode:
+        inode = super().mkdir(path)
+        if ino is not None:
+            self._renumber(inode, ino)
+        return inode
+
+    def _create_raw(self, path: str, stripe_count, uid,
+                    ino: Optional[int]) -> Inode:
+        inode = super().create(path, stripe_count=stripe_count, uid=uid)
+        if ino is not None:
+            self._renumber(inode, ino)
+        return inode
+
+    def _renumber(self, inode: Inode, ino: int) -> None:
+        """Restore a recorded inode number during replay."""
+        node = self.nodes[self.metadata_server(inode.path)]
+        node.inodes.pop(inode.ino, None)
+        parent_path, name = pathmod.split(inode.path)
+        inode.ino = ino
+        node.inodes[ino] = inode
+        node.paths[inode.path] = ino
+        parent = self.lookup(parent_path)
+        if parent is not None:
+            parent.entries[name] = ino
+
+    # ----------------------------------------------------------- fault model
+    def crash(self) -> None:
+        """Lose every volatile structure: namespace tables and (for log
+        backends) the chunk indexes. The journal and log segments are the
+        durable state that survives."""
+        for node in self.nodes.values():
+            node.inodes.clear()
+            node.paths.clear()
+            if hasattr(node.backend, "crash"):
+                node.backend.crash()
+
+    def recover(self) -> Dict[str, Any]:
+        """Rebuild from the journal (checkpoint + replay) and rescan
+        log-backed stores. Returns recovery statistics."""
+        # Recreate the root, then apply checkpoint and records.
+        now = self.clock()
+        root = Inode(ino=1, ftype=FileType.DIRECTORY, path="/",
+                     ctime=now, mtime=now)
+        self._meta_node("/").add_inode(root)
+
+        self._replaying = True
+        try:
+            applied = 0
+            if self.journal.checkpoint:
+                for entry in self.journal.checkpoint:
+                    if entry["path"] == "/":
+                        continue
+                    if entry["ftype"] == FileType.DIRECTORY.value:
+                        self.mkdir(entry["path"], ino=entry["ino"])
+                    else:
+                        inode = self.create(entry["path"], uid=entry["uid"],
+                                            ino=entry["ino"])
+                        inode.stripe = StripeSpec(
+                            self.stripe_size,
+                            tuple(entry["stripe_servers"]))
+                        inode.size = entry["size"]
+                    applied += 1
+            for record in self.journal.records:
+                self._apply(record)
+                applied += 1
+        finally:
+            self._replaying = False
+
+        scans = {}
+        for name, node in self.nodes.items():
+            if hasattr(node.backend, "recover"):
+                scans[name] = node.backend.recover()
+        return {"applied": applied, "scans": scans}
+
+    def _apply(self, record: JournalRecord) -> None:
+        op, args = record.op, record.args
+        if op == "mkdir":
+            if not self.exists(args["path"]):
+                self.mkdir(args["path"], ino=args["ino"])
+        elif op == "create":
+            if not self.exists(args["path"]):
+                inode = self.create(args["path"], uid=args["uid"],
+                                    ino=args["ino"])
+                inode.stripe = StripeSpec(self.stripe_size,
+                                          tuple(args["stripe_servers"]))
+        elif op == "unlink":
+            if self.exists(args["path"]):
+                super().unlink(args["path"])
+        elif op == "rmdir":
+            if self.exists(args["path"]):
+                super().rmdir(args["path"])
+        elif op == "truncate":
+            if self.exists(args["path"]):
+                super().truncate(args["path"], args["size"])
+        elif op == "extend":
+            inode = self.lookup(args["path"])
+            if inode is not None:
+                inode.size = max(inode.size, args["size"])
+        else:
+            raise FSError(f"unknown journal record {op!r}")

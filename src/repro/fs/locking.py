@@ -1,0 +1,91 @@
+"""Concurrency control mirroring §4.3's rules.
+
+- Concurrent reads of the same file: no locking.
+- Concurrent writes: allowed when byte ranges do not conflict.
+- Metadata updates: a per-inode mutex.
+
+In the simulator, FS calls execute instantaneously inside a server
+worker's service window; the lock table is what decides whether two
+*in-flight* requests may be serviced concurrently by different workers.
+:class:`RangeLockTable` implements writer-vs-writer range conflicts
+(readers never block), :class:`MetadataLockTable` per-key mutexes.
+Both are non-blocking try-lock interfaces: callers re-queue on conflict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..errors import FSError
+
+__all__ = ["RangeLockTable", "MetadataLockTable"]
+
+
+class RangeLockTable:
+    """Byte-range write locks per file (inode number)."""
+
+    def __init__(self):
+        self._writes: Dict[int, List[Tuple[int, int, object]]] = {}
+
+    def try_lock_write(self, ino: int, offset: int, length: int,
+                       owner: object) -> bool:
+        """Acquire a write lock on ``[offset, offset+length)``; False on conflict.
+
+        Per §4.3, concurrent writes proceed "without any limitation if the
+        byte ranges do not conflict".
+        """
+        if offset < 0 or length < 0:
+            raise FSError(f"invalid lock range: {offset}+{length}")
+        end = offset + length
+        held = self._writes.get(ino, [])
+        for o, e, _owner in held:
+            if offset < e and o < end:
+                return False
+        self._writes.setdefault(ino, []).append((offset, end, owner))
+        return True
+
+    def unlock_write(self, ino: int, owner: object) -> int:
+        """Release all write locks held by *owner* on *ino*; returns count."""
+        held = self._writes.get(ino)
+        if not held:
+            return 0
+        kept = [(o, e, w) for (o, e, w) in held if w is not owner]
+        released = len(held) - len(kept)
+        if kept:
+            self._writes[ino] = kept
+        else:
+            self._writes.pop(ino, None)
+        return released
+
+    def write_locks_held(self, ino: int) -> int:
+        """Number of write locks currently held on *ino*."""
+        return len(self._writes.get(ino, []))
+
+
+class MetadataLockTable:
+    """Per-inode mutex for metadata updates (§4.3)."""
+
+    def __init__(self):
+        self._held: Dict[int, object] = {}
+
+    def try_lock(self, ino: int, owner: object) -> bool:
+        """Acquire the inode's metadata mutex; False if another owner holds it."""
+        current = self._held.get(ino)
+        if current is None:
+            self._held[ino] = owner
+            return True
+        return current is owner  # re-entrant for the same owner
+
+    def unlock(self, ino: int, owner: object) -> None:
+        """Release the mutex (must be the owner)."""
+        if self._held.get(ino) is not owner:
+            raise FSError(f"unlocking metadata lock not held by owner: ino={ino}")
+        del self._held[ino]
+
+    def locked(self, ino: int) -> bool:
+        """True if *ino*'s metadata mutex is held."""
+        return ino in self._held
+
+    def holders(self) -> Set[int]:
+        """The inode numbers currently locked."""
+        return set(self._held)

@@ -1,0 +1,128 @@
+"""Byte-addressable NVMe region with extent allocation.
+
+Models one server's local persistent-memory device (§4.3: "an index
+specifies the NVMe region of the file's contents", writes go to "a range
+of allocated byte-addressable space in NVMe"). Allocation is first-fit
+over a sorted free list with coalescing on free. Extents store real
+bytes so the filesystem is verifiable end-to-end; unwritten bytes read
+back as zeros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import FSError, InvalidArgument, NoSpace
+
+__all__ = ["Extent", "NVMeRegion"]
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous allocated byte range on a device."""
+
+    offset: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def overlaps(self, other: "Extent") -> bool:
+        """True if this extent shares any byte with *other*."""
+        return self.offset < other.end and other.offset < self.end
+
+
+class NVMeRegion:
+    """One byte-addressable storage device.
+
+    Parameters
+    ----------
+    capacity:
+        Device size in bytes.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise FSError(f"capacity must be positive: {capacity}")
+        self.capacity = int(capacity)
+        self._free: List[Tuple[int, int]] = [(0, self.capacity)]  # (offset, len)
+        self._allocated: Dict[int, Extent] = {}  # offset -> extent
+        self._data: Dict[int, bytearray] = {}  # extent offset -> content
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def used_bytes(self) -> int:
+        return sum(e.length for e in self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    @property
+    def extent_count(self) -> int:
+        return len(self._allocated)
+
+    def extents(self) -> List[Extent]:
+        """All allocated extents, ordered by device offset."""
+        return sorted(self._allocated.values(), key=lambda e: e.offset)
+
+    # ------------------------------------------------------------ allocation
+    def alloc(self, nbytes: int) -> Extent:
+        """Allocate a contiguous extent of *nbytes* (first fit)."""
+        if nbytes <= 0:
+            raise InvalidArgument(f"allocation must be positive: {nbytes}")
+        for i, (off, length) in enumerate(self._free):
+            if length >= nbytes:
+                extent = Extent(off, nbytes)
+                if length == nbytes:
+                    del self._free[i]
+                else:
+                    self._free[i] = (off + nbytes, length - nbytes)
+                self._allocated[extent.offset] = extent
+                self._data[extent.offset] = bytearray(nbytes)
+                return extent
+        raise NoSpace(
+            f"cannot allocate {nbytes} bytes ({self.free_bytes} free, fragmented)")
+
+    def free(self, extent: Extent) -> None:
+        """Release *extent* and coalesce adjacent free ranges."""
+        if self._allocated.get(extent.offset) != extent:
+            raise FSError(f"freeing unallocated extent: {extent}")
+        del self._allocated[extent.offset]
+        del self._data[extent.offset]
+        self._free.append((extent.offset, extent.length))
+        self._free.sort()
+        merged: List[Tuple[int, int]] = []
+        for off, length in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == off:
+                merged[-1] = (merged[-1][0], merged[-1][1] + length)
+            else:
+                merged.append((off, length))
+        self._free = merged
+
+    # ------------------------------------------------------------------- I/O
+    def write(self, extent: Extent, offset: int, data: bytes) -> None:
+        """Write *data* at *offset* within *extent*."""
+        self._check(extent, offset, len(data))
+        buf = self._data[extent.offset]
+        buf[offset:offset + len(data)] = data
+
+    def read(self, extent: Extent, offset: int, length: int) -> bytes:
+        """Read *length* bytes at *offset* within *extent*."""
+        self._check(extent, offset, length)
+        buf = self._data[extent.offset]
+        return bytes(buf[offset:offset + length])
+
+    def _check(self, extent: Extent, offset: int, length: int) -> None:
+        if self._allocated.get(extent.offset) != extent:
+            raise FSError(f"I/O on unallocated extent: {extent}")
+        if offset < 0 or length < 0 or offset + length > extent.length:
+            raise InvalidArgument(
+                f"I/O range [{offset}, {offset + length}) outside extent "
+                f"of length {extent.length}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<NVMeRegion {self.used_bytes}/{self.capacity} used, "
+                f"{self.extent_count} extents>")

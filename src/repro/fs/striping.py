@@ -1,0 +1,81 @@
+"""Stripe layout computation.
+
+A file with stripe size ``S`` over servers ``[s0, s1, ...]`` places byte
+range ``[k*S, (k+1)*S)`` (chunk ``k``) on server ``servers[k % len]``.
+:func:`map_range` splits an arbitrary byte range into per-chunk segments,
+which is all both the client (to route requests) and the server (to hit
+its local extents) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import InvalidArgument
+
+__all__ = ["StripeSpec", "ChunkSlice", "map_range"]
+
+
+@dataclass(frozen=True)
+class StripeSpec:
+    """Striping parameters recorded in file metadata (§4.3)."""
+
+    stripe_size: int
+    servers: tuple  # server names, stripe order
+
+    def __post_init__(self):
+        if self.stripe_size <= 0:
+            raise InvalidArgument(f"stripe_size must be positive: {self.stripe_size}")
+        if not self.servers:
+            raise InvalidArgument("stripe needs at least one server")
+
+    @property
+    def stripe_count(self) -> int:
+        return len(self.servers)
+
+    def server_of_chunk(self, chunk_index: int) -> str:
+        """The server owning chunk *chunk_index* (round-robin)."""
+        return self.servers[chunk_index % len(self.servers)]
+
+
+@dataclass(frozen=True)
+class ChunkSlice:
+    """One contiguous piece of a file range falling inside a single chunk."""
+
+    chunk_index: int       # global chunk number within the file
+    server: str            # owning server
+    file_offset: int       # where this slice starts in the file
+    chunk_offset: int      # where this slice starts within its chunk
+    length: int            # slice length in bytes
+
+    @property
+    def file_end(self) -> int:
+        return self.file_offset + self.length
+
+
+def map_range(spec: StripeSpec, offset: int, length: int) -> List[ChunkSlice]:
+    """Split file byte range ``[offset, offset+length)`` into chunk slices.
+
+    Slices are returned in file order; adjacent slices on the same server
+    are *not* merged (they are distinct chunks on the device).
+    """
+    if offset < 0 or length < 0:
+        raise InvalidArgument(f"invalid range: offset={offset} length={length}")
+    slices: List[ChunkSlice] = []
+    pos = offset
+    end = offset + length
+    size = spec.stripe_size
+    while pos < end:
+        chunk = pos // size
+        chunk_off = pos - chunk * size
+        take = min(end - pos, size - chunk_off)
+        slices.append(ChunkSlice(
+            chunk_index=chunk,
+            server=spec.server_of_chunk(chunk),
+            file_offset=pos,
+            chunk_offset=chunk_off,
+            length=take,
+        ))
+        pos += take
+    return slices

@@ -1,0 +1,41 @@
+"""Experiment harness: configs, runner, reporting, per-figure experiments."""
+
+from .config import ExperimentConfig, JobRun
+from .experiments import (BaselineComparison, CompositeResult,
+                          InterferenceResult, LambdaResult, ScalingResult,
+                          SharingResult, fig01_interference, fig07_scaling,
+                          fig08_primitive, fig08c_user_fair,
+                          fig09_user_then_size, fig10_group_user_size,
+                          fig12_baselines, fig13_applications, fig14_lambda,
+                          run_sharing_experiment)
+from .report import pct, ratio, series_text, sparkline, table
+from .runner import ExperimentResult, JobOutcome, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "JobRun",
+    "run_experiment",
+    "ExperimentResult",
+    "JobOutcome",
+    "run_sharing_experiment",
+    "SharingResult",
+    "CompositeResult",
+    "ScalingResult",
+    "BaselineComparison",
+    "InterferenceResult",
+    "LambdaResult",
+    "fig01_interference",
+    "fig07_scaling",
+    "fig08_primitive",
+    "fig08c_user_fair",
+    "fig09_user_then_size",
+    "fig10_group_user_size",
+    "fig12_baselines",
+    "fig13_applications",
+    "fig14_lambda",
+    "table",
+    "series_text",
+    "sparkline",
+    "pct",
+    "ratio",
+]

@@ -1,0 +1,643 @@
+"""Per-figure experiment definitions (§5).
+
+One function per table/figure of the paper's evaluation. Each returns a
+result object with the measured rows plus a ``report()`` string printing
+the same rows/series the paper shows. Magnitudes are simulation-scale
+(seconds-long runs, multi-MB requests; see DESIGN.md §4.4) — the shapes
+(who wins, approximate ratios, crossovers) are the reproduction target.
+
+The ``scale`` parameter shortens the paper's 60 s timelines (default
+0.25: job 1 runs 15 s, job 2 runs 7.5 s starting at +3.75 s) to keep
+event counts tractable; ratios are time-scale invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bb.cluster import ClusterConfig
+from ..bb.server import ServerConfig
+from ..metrics.stats import jain_index, scaling_efficiency, share_ratio
+from ..metrics.timeline import ShareTimeline, convergence_interval
+from ..units import GB, MB, fmt_bw
+from ..workloads.apps import (APP_PROFILES, RESNET50, ApplicationWorkload,
+                              AppProfile)
+from ..workloads.custom import IopsWriteRead, PinnedWriter, WriteReadCycle
+from ..workloads.ior import IORWorkload
+from ..workloads.base import JobSpec
+from .config import ExperimentConfig, JobRun
+from .report import pct, table
+from .runner import ExperimentResult, run_experiment
+
+__all__ = [
+    "SharingResult", "run_sharing_experiment",
+    "fig01_interference", "fig07_scaling", "fig08_primitive",
+    "fig09_user_then_size", "fig10_group_user_size", "fig12_baselines",
+    "fig13_applications", "fig14_lambda", "related_datawarp",
+    "InterferenceResult", "ScalingResult", "BaselineComparison",
+    "LambdaResult", "CompositeResult", "ProvisioningResult",
+]
+
+#: background interference job of §5.5: one node of small write/read cycles.
+_BG_STREAMS = 32
+_BG_FILE = 4 * MB
+
+
+def _bg_workload() -> IopsWriteRead:
+    return IopsWriteRead(file_size=_BG_FILE, streams_per_node=_BG_STREAMS)
+
+
+# =====================================================================
+# Generic two-phase sharing run (the Fig. 8 / Fig. 12 shape):
+# job 1 runs [0, 60s*scale); job 2 runs [15s*scale, 45s*scale).
+# =====================================================================
+
+@dataclass
+class SharingResult:
+    """Measurements of one two-job sharing run."""
+
+    policy: str
+    result: ExperimentResult
+    t_job2_start: float
+    t_job2_end: float
+    solo_median: float        # job 1 unopposed (before job 2 arrives)
+    shared_medians: Dict[int, float]
+    shared_stddev: Dict[int, float]
+    peak_throughput: float    # total, sharing window
+
+    def report(self) -> str:
+        """The paper-style medians/stddev table for this run."""
+        rows = [("job1 solo", fmt_bw(self.solo_median), "-")]
+        for job_id in sorted(self.shared_medians):
+            rows.append((f"job{job_id} shared",
+                         fmt_bw(self.shared_medians[job_id]),
+                         fmt_bw(self.shared_stddev[job_id])))
+        rows.append(("total shared", fmt_bw(self.peak_throughput), "-"))
+        return table(("series", "median", "stddev"), rows,
+                     title=f"policy={self.policy}")
+
+    def time_to_fair_share(self, job_id: int = 2,
+                           threshold: float = 0.9) -> Optional[float]:
+        """§5.4's "latency to fair-sharing": seconds from the late job's
+        start until its throughput first sustains *threshold* of its
+        eventual shared median (None if never). Distinguishes ThemisIO's
+        immediate token reallocation from GIFT's epoch-lagged budgets."""
+        target = self.shared_medians.get(job_id, 0.0) * threshold
+        if target <= 0:
+            return None
+        interval = self.result.config.sample_interval
+        times, rates = self.result.series(job_id)
+        for t, rate in zip(times, rates):
+            if t + interval <= self.t_job2_start:
+                continue
+            if rate >= target:
+                return max(0.0, t - self.t_job2_start)
+        return None
+
+
+def run_sharing_experiment(policy: str, jobs: Sequence[JobRun],
+                           n_servers: int = 1, scale: float = 0.25,
+                           seed: int = 0, sample_interval: Optional[float] = None,
+                           server: Optional[ServerConfig] = None,
+                           **cluster_kw) -> ExperimentResult:
+    """Run *jobs* against one cluster under *policy* and return raw results."""
+    cfg = ExperimentConfig(
+        cluster=ClusterConfig(n_servers=n_servers, policy=policy,
+                              server=server or ServerConfig(), seed=seed,
+                              **cluster_kw),
+        jobs=list(jobs),
+        max_time=max((run.stop or 0.0) for run in jobs) + 1.0,
+        sample_interval=sample_interval or max(0.1, scale),
+    )
+    return run_experiment(cfg)
+
+
+def _two_job_run(policy: str, spec1: JobSpec, spec2: JobSpec,
+                 scale: float, seed: int,
+                 workload_factory=None, **cluster_kw) -> SharingResult:
+    """The paper's canonical timeline: job 1 for 60 s, job 2 for 30 s
+    starting at +15 s (times scaled)."""
+    t1_end = 60.0 * scale
+    t2_start, t2_end = 15.0 * scale, 45.0 * scale
+    # 16 streams/node keeps even a 1-node job saturating (the paper's
+    # jobs run 56 processes per node).
+    make = workload_factory or (lambda: WriteReadCycle(
+        file_size=10 * MB, streams_per_node=16))
+    jobs = [
+        JobRun(spec=spec1, workload=make(), start=0.0, stop=t1_end),
+        JobRun(spec=spec2, workload=make(), start=t2_start, stop=t2_end),
+    ]
+    result = run_sharing_experiment(policy, jobs, scale=scale, seed=seed,
+                                    **cluster_kw)
+    interval = result.config.sample_interval
+    # Solo window: job 1 alone, skipping startup; sharing window: both
+    # active, trimmed at the edges.
+    solo = result.median_throughput(spec1.job_id, t0=2 * interval,
+                                    t1=t2_start)
+    shared = {}
+    sdev = {}
+    for spec in (spec1, spec2):
+        shared[spec.job_id] = result.median_throughput(
+            spec.job_id, t0=t2_start + 2 * interval, t1=t2_end)
+        sdev[spec.job_id] = result.stddev_throughput(
+            spec.job_id, t0=t2_start + 2 * interval, t1=t2_end)
+    peak = result.window_throughput(t2_start + 2 * interval, t2_end)
+    return SharingResult(policy=policy, result=result,
+                         t_job2_start=t2_start, t_job2_end=t2_end,
+                         solo_median=solo, shared_medians=shared,
+                         shared_stddev=sdev, peak_throughput=peak)
+
+
+# =====================================================================
+# Fig. 8 — primitive policies on a single server
+# =====================================================================
+
+def fig08_primitive(policy: str = "size-fair", scale: float = 0.25,
+                    seed: int = 0):
+    """Fig. 8(a)/(b): a 4-node job competing with a 1-node job under
+    size-fair or job-fair; (c): user-fair with two users (see
+    :func:`fig08c_user_fair`). Expected shapes: size-fair -> ~4x ratio,
+    job-fair -> ~1x, solo median near the 22 GB/s device limit."""
+    spec1 = JobSpec(job_id=1, user="userA", nodes=4)
+    spec2 = JobSpec(job_id=2, user="userB", nodes=1)
+    out = _two_job_run(policy, spec1, spec2, scale, seed)
+    out.ratio = share_ratio(out.shared_medians[1], out.shared_medians[2])
+    return out
+
+
+@dataclass
+class CompositeResult:
+    """Per-job medians plus rollups by user/group for composite policies."""
+
+    policy: str
+    result: ExperimentResult
+    job_medians: Dict[int, float]
+    user_totals: Dict[str, float]
+    group_totals: Dict[str, float]
+    total: float
+
+    def report(self) -> str:
+        """Per-job and rolled-up entity throughput table."""
+        rows = [(f"job{j}", fmt_bw(v)) for j, v in sorted(self.job_medians.items())]
+        rows += [(f"user {u}", fmt_bw(v)) for u, v in sorted(self.user_totals.items())]
+        rows += [(f"group {g}", fmt_bw(v)) for g, v in sorted(self.group_totals.items())]
+        rows.append(("total", fmt_bw(self.total)))
+        return table(("entity", "median throughput"), rows,
+                     title=f"policy={self.policy}")
+
+
+def _steady_composite(policy: str, specs: Sequence[JobSpec], scale: float,
+                      seed: int, n_servers: int = 1) -> CompositeResult:
+    """All jobs run concurrently for the full (scaled) 60 s window."""
+    t_end = 60.0 * scale
+    jobs = [JobRun(spec=s, workload=WriteReadCycle(file_size=10 * MB,
+                                                   streams_per_node=16),
+                   start=0.0, stop=t_end) for s in specs]
+    result = run_sharing_experiment(policy, jobs, n_servers=n_servers,
+                                    scale=scale, seed=seed)
+    interval = result.config.sample_interval
+    t0 = 10.0 * scale  # skip the paper's "slow startup" window
+    job_medians = {s.job_id: result.median_throughput(s.job_id, t0=t0,
+                                                      t1=t_end)
+                   for s in specs}
+    user_totals: Dict[str, float] = {}
+    group_totals: Dict[str, float] = {}
+    for s in specs:
+        user_totals[s.user] = user_totals.get(s.user, 0.0) + job_medians[s.job_id]
+        group_totals[s.group] = (group_totals.get(s.group, 0.0)
+                                 + job_medians[s.job_id])
+    return CompositeResult(policy=policy, result=result,
+                           job_medians=job_medians, user_totals=user_totals,
+                           group_totals=group_totals,
+                           total=sum(job_medians.values()))
+
+
+def fig08c_user_fair(scale: float = 0.25, seed: int = 0) -> CompositeResult:
+    """Fig. 8(c): user A runs two 2-node jobs, user B one 1-node job;
+    user-fair must give both users ~equal total throughput."""
+    specs = [JobSpec(job_id=1, user="userA", nodes=2),
+             JobSpec(job_id=2, user="userA", nodes=2),
+             JobSpec(job_id=3, user="userB", nodes=1)]
+    return _steady_composite("user-fair", specs, scale, seed)
+
+
+def fig09_user_then_size(scale: float = 0.25, seed: int = 0) -> CompositeResult:
+    """Fig. 9: four jobs from two users (node counts 1,2 and 4,6) under
+    user-then-size-fair: users split evenly, jobs 1:2 and 4:6 within."""
+    specs = [JobSpec(job_id=1, user="user1", nodes=1),
+             JobSpec(job_id=2, user="user1", nodes=2),
+             JobSpec(job_id=3, user="user2", nodes=4),
+             JobSpec(job_id=4, user="user2", nodes=6)]
+    return _steady_composite("user-then-size-fair", specs, scale, seed)
+
+
+def fig10_group_user_size(scale: float = 0.25, seed: int = 0) -> CompositeResult:
+    """Figs. 10-11: eight jobs, four users, two groups under
+    group-user-size-fair: groups even, users within a group even, jobs
+    within a user proportional to node count (user2's three jobs 2:3:2)."""
+    specs = [
+        JobSpec(job_id=1, user="user1", group="group1", nodes=1),
+        JobSpec(job_id=2, user="user1", group="group1", nodes=2),
+        JobSpec(job_id=3, user="user1", group="group1", nodes=1),
+        JobSpec(job_id=4, user="user2", group="group2", nodes=2),
+        JobSpec(job_id=5, user="user2", group="group2", nodes=3),
+        JobSpec(job_id=6, user="user2", group="group2", nodes=2),
+        JobSpec(job_id=7, user="user3", group="group2", nodes=2),
+        JobSpec(job_id=8, user="user4", group="group2", nodes=2),
+    ]
+    return _steady_composite("group-user-size-fair", specs, scale, seed)
+
+
+# =====================================================================
+# Fig. 7 — scaling with multiple servers
+# =====================================================================
+
+@dataclass
+class ScalingResult:
+    server_counts: List[int]
+    rows: Dict[str, List[float]]  # "<policy>-<op>" -> GB/s per count
+    efficiencies: Dict[str, List[float]] = field(default_factory=dict)
+
+    def report(self) -> str:
+        """The Fig. 7 throughput table plus efficiency summary."""
+        headers = ["servers"] + list(self.rows)
+        body = []
+        for i, n in enumerate(self.server_counts):
+            body.append([n] + [f"{self.rows[k][i] / GB:.1f} GB/s"
+                               for k in self.rows])
+        eff = []
+        for key, series in self.rows.items():
+            e = scaling_efficiency(series, self.server_counts)
+            self.efficiencies[key] = list(e)
+            eff.append(f"{key}: {e[-1] * 100:.0f}% at {self.server_counts[-1]}")
+        return (table(headers, body, title="Fig. 7 scaling") +
+                "\nefficiency vs 1 server: " + "; ".join(eff))
+
+
+def fig07_scaling(server_counts: Sequence[int] = (1, 2, 4, 8),
+                  duration: float = 3.0, block: int = 8 * MB,
+                  seed: int = 0) -> ScalingResult:
+    """Fig. 7: aggregate unidirectional throughput, FIFO vs job-fair,
+    write vs read, with as many client nodes as server nodes (8 IOR
+    streams per client node). Expect near-linear scaling with efficiency
+    declining as counts grow (placement imbalance), FIFO ≈ job-fair."""
+    rows: Dict[str, List[float]] = {}
+    for policy in ("fifo", "job-fair"):
+        for mode in ("write", "read"):
+            key = f"{policy}-{mode}"
+            rows[key] = []
+            for n in server_counts:
+                jobs = [JobRun(
+                    spec=JobSpec(job_id=i + 1, user=f"u{i}", nodes=1),
+                    workload=IORWorkload(file_size=64 * MB, block_size=block,
+                                         mode=mode, streams_per_node=8),
+                    start=0.0, stop=duration) for i in range(n)]
+                result = run_sharing_experiment(
+                    policy, jobs, n_servers=n, scale=duration / 60.0,
+                    seed=seed, sample_interval=0.25)
+                # steady window, skipping ramp-up
+                rate = result.window_throughput(duration * 0.25,
+                                                duration)
+                rows[key].append(rate)
+    return ScalingResult(server_counts=list(server_counts), rows=rows)
+
+
+# =====================================================================
+# Fig. 12 — ThemisIO vs GIFT vs TBF
+# =====================================================================
+
+@dataclass
+class BaselineComparison:
+    rows: Dict[str, SharingResult]
+
+    def report(self) -> str:
+        """The Fig. 12 scheduler-comparison table."""
+        body = []
+        for name, r in self.rows.items():
+            body.append((name, fmt_bw(r.solo_median),
+                         fmt_bw(r.shared_medians[2]),
+                         fmt_bw(r.shared_stddev[2]),
+                         fmt_bw(r.peak_throughput)))
+        return table(("scheduler", "peak (job1 solo)", "job2 shared",
+                      "job2 stddev", "total shared"), body,
+                     title="Fig. 12 comparison")
+
+    def themis_advantage(self) -> Dict[str, float]:
+        """Fractional throughput advantage of ThemisIO over each baseline."""
+        themis = self.rows["themis"]
+        out = {}
+        for name, r in self.rows.items():
+            if name != "themis" and r.solo_median > 0:
+                out[name] = themis.solo_median / r.solo_median - 1.0
+        return out
+
+
+def fig12_baselines(scale: float = 0.25, seed: int = 0) -> BaselineComparison:
+    """Fig. 12: a pair of single-node jobs under ThemisIO job-fair, GIFT
+    (mu = 0.5 s) and TBF (user-supplied rates = capacity/2). Expected
+    shape: ThemisIO sustains the highest peak, job 2 ramps fastest and
+    with the lowest variance under ThemisIO; TBF is the most jittery."""
+    spec1 = JobSpec(job_id=1, user="u1", nodes=1)
+    spec2 = JobSpec(job_id=2, user="u2", nodes=1)
+    bandwidth = ServerConfig().bandwidth
+    runs = {}
+    runs["themis"] = _two_job_run("job-fair", spec1, spec2, scale, seed)
+    runs["gift"] = _two_job_run("gift", spec1, spec2, scale, seed,
+                                gift_mu=0.5 * max(scale / 0.25, 0.25))
+    runs["tbf"] = _two_job_run(
+        "tbf", spec1, spec2, scale, seed,
+        tbf_rates={1: bandwidth / 2, 2: bandwidth / 2})
+    return BaselineComparison(rows=runs)
+
+
+# =====================================================================
+# Figs. 1 and 13 — application interference
+# =====================================================================
+
+@dataclass
+class InterferenceResult:
+    """Per-app time-to-solution under exclusive / FIFO+bg / size-fair+bg."""
+
+    apps: List[str]
+    baseline: Dict[str, float]
+    fifo: Dict[str, float]
+    sizefair: Dict[str, float] = field(default_factory=dict)
+
+    def slowdown(self, app: str, setting: str) -> float:
+        """Fractional slowdown of *app* under *setting* vs exclusive."""
+        measured = getattr(self, setting)[app]
+        return measured / self.baseline[app] - 1.0
+
+    def slowdown_reduction(self, app: str) -> float:
+        """How much of the FIFO-induced slowdown size-fair removes."""
+        fifo_s = self.slowdown(app, "fifo")
+        fair_s = self.slowdown(app, "sizefair")
+        if fifo_s <= 0:
+            return 0.0
+        return max(0.0, (fifo_s - fair_s) / fifo_s)
+
+    def report(self) -> str:
+        """The Fig. 1/13 time-to-solution table."""
+        body = []
+        for app in self.apps:
+            row = [app, f"{self.baseline[app]:.2f}s",
+                   f"{self.fifo[app]:.2f}s ({pct(self.slowdown(app, 'fifo'))})"]
+            if self.sizefair:
+                row.append(f"{self.sizefair[app]:.2f}s "
+                           f"({pct(self.slowdown(app, 'sizefair'))})")
+                row.append(pct(self.slowdown_reduction(app), signed=False))
+            body.append(row)
+        headers = ["app", "exclusive", "FIFO + bg"]
+        if self.sizefair:
+            headers += ["size-fair + bg", "slowdown reduced"]
+        return table(headers, body, title="Application interference")
+
+
+def _run_app(profile: AppProfile, policy: str, with_background: bool,
+             seed: int, n_servers: int = 1) -> float:
+    """One application run; returns its time-to-solution."""
+    app_run = JobRun(
+        spec=JobSpec(job_id=1, user="app", nodes=profile.nodes),
+        workload=ApplicationWorkload(profile),
+        start=0.0, client_nodes=min(profile.nodes, 4))
+    jobs = [app_run]
+    # Generous horizon: apps must finish even badly interfered.
+    horizon = (profile.steps * profile.compute_per_step) * 12 + 10.0
+    if with_background:
+        jobs.append(JobRun(
+            spec=JobSpec(job_id=2, user="bg", nodes=1),
+            workload=_bg_workload(), start=0.0, stop=horizon - 1.0))
+    cfg = ExperimentConfig(
+        cluster=ClusterConfig(n_servers=n_servers, policy=policy, seed=seed),
+        jobs=jobs, max_time=horizon, sample_interval=0.5)
+    result = run_experiment(cfg)
+    return result.time_to_solution(1)
+
+
+def fig01_interference(apps: Optional[Sequence[str]] = None,
+                       seed: int = 0) -> InterferenceResult:
+    """Fig. 1: each §5.1 application exclusive vs. with a background I/O
+    job under the production FIFO discipline, on the paper's two-node
+    burst buffer; slowdowns span from a few percent (compute-bound) to
+    >100% (I/O-heavy and async-I/O apps)."""
+    names = list(apps or APP_PROFILES)
+    out = InterferenceResult(apps=names, baseline={}, fifo={})
+    for name in names:
+        profile = APP_PROFILES[name]
+        out.baseline[name] = _run_app(profile, "fifo", False, seed,
+                                      n_servers=2)
+        out.fifo[name] = _run_app(profile, "fifo", True, seed, n_servers=2)
+    return out
+
+
+def fig13_applications(apps: Optional[Sequence[str]] = None,
+                       seed: int = 0,
+                       include_sync_resnet: bool = False):
+    """Fig. 13: exclusive vs FIFO+bg vs size-fair+bg. Expected shape:
+    FIFO slowdowns large for I/O-sensitive apps, size-fair slowdowns
+    bounded by the background job's node-count share; size-fair removes
+    most of the FIFO-induced slowdown."""
+    names = list(apps or APP_PROFILES)
+    out = InterferenceResult(apps=names, baseline={}, fifo={}, sizefair={})
+    for name in names:
+        profile = APP_PROFILES[name]
+        n_servers = 2 if name.startswith("resnet") else 1  # §5.5 setup
+        out.baseline[name] = _run_app(profile, "fifo", False, seed, n_servers)
+        out.fifo[name] = _run_app(profile, "fifo", True, seed, n_servers)
+        out.sizefair[name] = _run_app(profile, "size-fair", True, seed,
+                                      n_servers)
+    if include_sync_resnet:
+        sync_profile = RESNET50.sync_variant()
+        out.apps.append(sync_profile.name)
+        out.baseline[sync_profile.name] = _run_app(sync_profile, "fifo",
+                                                   False, seed, 2)
+        out.fifo[sync_profile.name] = _run_app(sync_profile, "fifo", True,
+                                               seed, 2)
+        out.sizefair[sync_profile.name] = _run_app(sync_profile, "size-fair",
+                                                   True, seed, 2)
+    return out
+
+
+# =====================================================================
+# §6 related work — DataWarp-style provisioning vs ThemisIO sharing
+# =====================================================================
+
+@dataclass
+class ProvisioningResult:
+    """Total and per-job throughput under three provisioning regimes."""
+
+    totals: Dict[str, float]                 # regime -> aggregate B/s
+    per_job: Dict[str, Dict[int, float]]     # regime -> job -> B/s
+    jain: Dict[str, float]                   # regime -> weighted fairness
+
+    def report(self) -> str:
+        """The provisioning-regime comparison table."""
+        rows = []
+        for regime in self.totals:
+            job_cells = ", ".join(
+                f"j{j}={v / 1e9:.1f}" for j, v in
+                sorted(self.per_job[regime].items()))
+            rows.append((regime, fmt_bw(self.totals[regime]),
+                         f"{self.jain[regime]:.3f}", job_cells))
+        return table(("regime", "total", "weighted Jain", "per-job GB/s"),
+                     rows, title="DataWarp provisioning vs ThemisIO (§6)")
+
+
+def related_datawarp(seed: int = 0, duration: float = 2.0
+                     ) -> ProvisioningResult:
+    """§6: DataWarp's *interference* policy gives each job a minimal,
+    exclusive set of burst-buffer servers (isolated but "resource
+    starvation" prone); the *bandwidth* policy spreads jobs over shared
+    servers under FIFO (fast but interference-prone). ThemisIO's claim:
+    shared servers + size-fair tokens gets both — high utilisation *and*
+    per-job fairness.
+
+    Setup: 4 servers, 2 heavy jobs (can each saturate several servers)
+    and 2 light jobs (a trickle). Expected shape: isolation wastes the
+    light jobs' servers (lowest total); FIFO sharing is fast but skewed
+    toward the heavy jobs beyond their entitlement; size-fair keeps the
+    total high while holding jobs near their node-count shares.
+    """
+    from ..fs.hashing import ConsistentHashRing
+    from ..workloads.custom import PinnedWriter
+
+    n_servers = 4
+    heavy = {1: 16, 2: 16}   # job -> streams (demand far above one server)
+    light = {3: 2, 4: 2}
+    nodes = {1: 8, 2: 8, 3: 1, 4: 1}
+
+    ring = ConsistentHashRing([f"bb{i}" for i in range(n_servers)])
+
+    def pinned_paths(server: str, count: int) -> List[str]:
+        found = []
+        i = 0
+        while len(found) < count:
+            path = f"/fs/pin/{server}-f{i}"
+            if ring.lookup(path) == server:
+                found.append(path)
+            i += 1
+        return found
+
+    def run(regime: str) -> ExperimentResult:
+        jobs = []
+        for idx, (job_id, streams) in enumerate([*heavy.items(),
+                                                 *light.items()]):
+            if regime == "isolated":
+                # DataWarp interference policy: job -> its own server.
+                paths = pinned_paths(f"bb{idx}", streams)
+                workload = PinnedWriter(paths, request_size=4 * MB,
+                                        streams_per_node=streams)
+            else:
+                # Shared servers: per-stream files spread over the ring.
+                workload = WriteReadCycle(file_size=10 * MB,
+                                          streams_per_node=streams)
+            jobs.append(JobRun(
+                spec=JobSpec(job_id=job_id, user=f"u{job_id}",
+                             nodes=nodes[job_id]),
+                workload=workload, start=0.0, stop=duration))
+        policy = "size-fair" if regime == "themis" else "fifo"
+        return run_sharing_experiment(policy, jobs, n_servers=n_servers,
+                                      scale=duration / 60.0, seed=seed,
+                                      sample_interval=0.25)
+
+    totals: Dict[str, float] = {}
+    per_job: Dict[str, Dict[int, float]] = {}
+    jain: Dict[str, float] = {}
+    entitlement = {j: nodes[j] for j in nodes}
+    for regime in ("isolated", "fifo-shared", "themis"):
+        result = run(regime)
+        t0 = duration * 0.25
+        per_job[regime] = {
+            j: result.window_throughput(t0, duration, j) for j in nodes}
+        totals[regime] = sum(per_job[regime].values())
+        # Weighted fairness: rate per entitled node should be even.
+        jain[regime] = jain_index([
+            per_job[regime][j] / entitlement[j] for j in nodes])
+    return ProvisioningResult(totals=totals, per_job=per_job, jain=jain)
+
+
+# =====================================================================
+# Fig. 14 — λ-delayed fairness
+# =====================================================================
+
+@dataclass
+class LambdaResult:
+    lambdas: List[float]
+    convergence: Dict[float, Optional[int]]  # λ -> intervals to fairness
+    variance: Dict[float, float]             # λ -> mean share variance
+
+    def report(self) -> str:
+        """The Fig. 14 convergence/variance table."""
+        body = []
+        for lam in self.lambdas:
+            conv = self.convergence[lam]
+            body.append((f"{lam * 1000:.0f} ms",
+                         "never" if conv is None else str(conv),
+                         f"{self.variance[lam]:.4f}"))
+        return table(("lambda", "intervals to global fairness",
+                      "share variance"),
+                     body, title="Fig. 14 lambda-delayed fairness")
+
+
+def _pinned_paths(cluster_seed: int, n_servers: int = 2
+                  ) -> Tuple[Dict[str, List[str]], ClusterConfig]:
+    """Find file paths whose placement pins each job to chosen servers."""
+    cfg = ClusterConfig(n_servers=n_servers, policy="size-fair",
+                        seed=cluster_seed)
+    from ..fs.hashing import ConsistentHashRing
+    ring = ConsistentHashRing([f"bb{i}" for i in range(n_servers)])
+    by_server: Dict[str, List[str]] = {f"bb{i}": [] for i in range(n_servers)}
+    i = 0
+    while any(len(v) < 4 for v in by_server.values()):
+        path = f"/fs/pin/file-{i}"
+        owner = ring.lookup(path)
+        if len(by_server[owner]) < 4:
+            by_server[owner].append(path)
+        i += 1
+    return by_server, cfg
+
+
+def fig14_lambda(lambdas: Sequence[float] = (0.010, 0.050, 0.200, 0.500),
+                 seed: int = 0) -> LambdaResult:
+    """Fig. 14 (the Fig. 5 scenario measured): three size-fair jobs (16,
+    8, 8 nodes) whose files live on disjoint servers; vary λ. Expected:
+    global fairness within a couple of intervals for λ >= 50 ms, more
+    intervals at 10 ms, and higher share variance at shorter λ."""
+    by_server, _ = _pinned_paths(seed)
+    s0_paths, s1_paths = by_server["bb0"], by_server["bb1"]
+    convergence: Dict[float, Optional[int]] = {}
+    variance: Dict[float, float] = {}
+    fair = {1: 0.5, 2: 0.25, 3: 0.25}
+    for lam in lambdas:
+        duration = max(8 * lam, 0.8)
+        server = ServerConfig(sync_interval=lam)
+        jobs = [
+            # Job 1 (16 nodes) touches both servers; jobs 2 and 3 one each.
+            JobRun(spec=JobSpec(job_id=1, user="u1", nodes=16),
+                   workload=PinnedWriter([s0_paths[0], s1_paths[0]],
+                                         request_size=2 * MB,
+                                         streams_per_node=8),
+                   start=0.0, stop=duration),
+            JobRun(spec=JobSpec(job_id=2, user="u2", nodes=8),
+                   workload=PinnedWriter([s0_paths[1]], request_size=2 * MB,
+                                         streams_per_node=8),
+                   start=0.0, stop=duration),
+            JobRun(spec=JobSpec(job_id=3, user="u3", nodes=8),
+                   workload=PinnedWriter([s1_paths[1]], request_size=2 * MB,
+                                         streams_per_node=8),
+                   start=0.0, stop=duration),
+        ]
+        result = run_sharing_experiment("size-fair", jobs, n_servers=2,
+                                        scale=duration / 60.0, seed=seed,
+                                        sample_interval=lam, server=server)
+        timeline = ShareTimeline(result.sampler, interval=lam,
+                                 start=0.0, end=duration)
+        convergence[lam] = convergence_interval(timeline, fair,
+                                                tolerance=0.12, sustain=2)
+        # Variance of job 1's observed share after convergence.
+        shares = timeline.share_series(1)
+        tail = shares[len(shares) // 2:]
+        variance[lam] = float(tail.var()) if len(tail) else 0.0
+    return LambdaResult(lambdas=list(lambdas), convergence=convergence,
+                        variance=variance)

@@ -1,0 +1,22 @@
+"""Measurement utilities: throughput sampling, statistics, share timelines."""
+
+from .sampler import ThroughputSampler
+from .stats import (jain_index, median_nonzero, percentile_nonzero,
+                    scaling_efficiency, share_ratio, size_fair_bound,
+                    slowdown, speedup, stddev_nonzero)
+from .timeline import ShareTimeline, convergence_interval
+
+__all__ = [
+    "ThroughputSampler",
+    "median_nonzero",
+    "stddev_nonzero",
+    "percentile_nonzero",
+    "size_fair_bound",
+    "slowdown",
+    "speedup",
+    "jain_index",
+    "scaling_efficiency",
+    "share_ratio",
+    "ShareTimeline",
+    "convergence_interval",
+]

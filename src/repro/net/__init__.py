@@ -1,0 +1,6 @@
+"""Interconnect substrate: fabric and message types."""
+
+from .fabric import Fabric, NodeHandle
+from .message import Message
+
+__all__ = ["Fabric", "NodeHandle", "Message"]

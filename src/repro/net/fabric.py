@@ -1,0 +1,123 @@
+"""Interconnect model: nodes with NICs joined by a low-latency fabric.
+
+The model captures what arbitration cares about — *when* requests arrive
+and how fast bytes drain — without simulating routing. Each node owns a
+transmit :class:`~repro.sim.resources.BandwidthPipe` (its NIC injection
+channel) and an inbox :class:`~repro.sim.resources.Store`. A send
+serialises on the sender's NIC, crosses the fabric after a fixed latency,
+and lands in the receiver's inbox. Receive-side serialisation is folded
+into the single NIC pipe (full-duplex links are modelled with separate tx
+pipes per node, which is where contention matters for our workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+from ..errors import NetworkError
+from ..sim.process import Event
+from ..sim.resources import BandwidthPipe, Store
+from ..units import GB, USEC
+from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Engine
+
+__all__ = ["Fabric", "NodeHandle"]
+
+
+@dataclass
+class NodeHandle:
+    """A node attached to the fabric: its NIC pipe and inbox."""
+
+    name: str
+    tx: BandwidthPipe
+    inbox: Store
+
+
+class Fabric:
+    """The cluster interconnect.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    latency:
+        One-way wire latency in seconds (InfiniBand-class default: 2 us).
+    link_bandwidth:
+        Per-node NIC injection bandwidth in bytes/second (HDR-class
+        default: 25 GB/s unidirectional).
+    """
+
+    def __init__(self, engine: "Engine", latency: float = 2 * USEC,
+                 link_bandwidth: float = 25 * GB):
+        if latency < 0:
+            raise NetworkError(f"negative latency: {latency}")
+        if link_bandwidth <= 0:
+            raise NetworkError(f"non-positive bandwidth: {link_bandwidth}")
+        self.engine = engine
+        self.latency = float(latency)
+        self.link_bandwidth = float(link_bandwidth)
+        self._nodes: Dict[str, NodeHandle] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -------------------------------------------------------------- topology
+    def add_node(self, name: str) -> NodeHandle:
+        """Attach a node called *name*; names must be unique."""
+        if name in self._nodes:
+            raise NetworkError(f"duplicate node name: {name!r}")
+        handle = NodeHandle(
+            name=name,
+            tx=BandwidthPipe(self.engine, rate=self.link_bandwidth),
+            inbox=Store(self.engine),
+        )
+        self._nodes[name] = handle
+        return handle
+
+    def node(self, name: str) -> NodeHandle:
+        """The handle of node *name* (raises NetworkError if unknown)."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node: {name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        """True if a node called *name* is attached."""
+        return name in self._nodes
+
+    @property
+    def node_names(self):
+        return list(self._nodes)
+
+    # ------------------------------------------------------------- transport
+    def send(self, message: Message) -> Event:
+        """Transmit *message*; the event fires when it is enqueued remotely.
+
+        The message occupies the sender's NIC for ``size / link_bandwidth``
+        seconds, then arrives ``latency`` later.
+        """
+        src = self.node(message.src)
+        dst = self.node(message.dst)
+        self.messages_sent += 1
+        self.bytes_sent += message.size
+
+        delivered = Event(self.engine)
+        sent = src.tx.transfer(message.size)
+
+        def _arrive(_ev: Event) -> None:
+            dst.inbox.put(message)
+            delivered.succeed(message)
+
+        def _after_wire(_ev: Event) -> None:
+            # Fixed propagation latency after serialisation.
+            wire = self.engine.timeout(self.latency)
+            wire.callbacks.append(_arrive)
+
+        sent.callbacks.append(_after_wire)
+        return delivered
+
+    def inbox(self, name: str) -> Store:
+        """The receive queue of node *name*."""
+        return self.node(name).inbox

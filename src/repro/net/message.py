@@ -1,0 +1,33 @@
+"""Typed messages moved across the simulated interconnect."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message"]
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One network message.
+
+    ``size`` is the on-wire byte count used for serialisation delay (header
+    plus payload bytes); ``payload`` is the simulated content and is never
+    serialised for real.
+    """
+
+    src: str
+    dst: str
+    tag: str
+    payload: Any = None
+    size: int = 0
+    worker: str = ""  # destination UCP worker name ("" = node default)
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"negative message size: {self.size}")

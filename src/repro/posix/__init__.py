@@ -1,0 +1,20 @@
+"""POSIX interception substrate (§4.4 of the paper)."""
+
+from .api import (O_APPEND, O_CREAT, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY,
+                  SEEK_CUR, SEEK_END, SEEK_SET, PosixShim,
+                  install_interception)
+from .fdtable import DirStream, FDTable, OpenFile
+from .interpose import InterceptionMode, InterceptStats, InterposeRegistry
+
+__all__ = [
+    "PosixShim",
+    "install_interception",
+    "FDTable",
+    "OpenFile",
+    "DirStream",
+    "InterposeRegistry",
+    "InterceptionMode",
+    "InterceptStats",
+    "O_RDONLY", "O_WRONLY", "O_RDWR", "O_CREAT", "O_TRUNC", "O_APPEND",
+    "SEEK_SET", "SEEK_CUR", "SEEK_END",
+]

@@ -1,0 +1,194 @@
+"""POSIX-compliant shim (§4.4, Listing 1).
+
+Applications use ThemisIO "as a traditional file system": any path under
+the burst-buffer namespace prefix (``/fs`` by default) is routed to the
+burst buffer; everything else passes through to the node-local file
+system. The shim implements the intercepted functions of Listing 1 —
+``open/close/read/write/lseek/opendir/readdir/closedir`` — plus ``stat``
+and ``unlink`` (exercised by the paper's ``iops_stat`` benchmark and
+cleanup paths).
+
+The *backend* is any object with the :class:`~repro.fs.ThemisFS` data
+API (``create/write/read/stat/readdir/unlink/truncate/exists/lookup``);
+in the full system it is the burst-buffer client's blocking facade, in
+unit tests the FS itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import (BadFileDescriptor, FileNotFound, InvalidArgument,
+                      IsADirectory, PermissionDenied)
+from ..fs.path import DEFAULT_NAMESPACE, in_namespace, normalize
+from .fdtable import DirStream, FDTable
+from .interpose import InterposeRegistry
+
+__all__ = ["PosixShim", "O_RDONLY", "O_WRONLY", "O_RDWR", "O_CREAT",
+           "O_TRUNC", "O_APPEND", "SEEK_SET", "SEEK_CUR", "SEEK_END",
+           "install_interception"]
+
+# Linux x86-64 flag values.
+O_RDONLY = 0o0
+O_WRONLY = 0o1
+O_RDWR = 0o2
+O_CREAT = 0o100
+O_TRUNC = 0o1000
+O_APPEND = 0o2000
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+_ACCMODE = 0o3
+
+
+class PosixShim:
+    """One client process's view of the intercepted POSIX surface."""
+
+    def __init__(self, backend: Any, namespace: str = DEFAULT_NAMESPACE,
+                 passthrough: Optional[Any] = None):
+        self.backend = backend
+        self.namespace = namespace
+        self.passthrough = passthrough
+        self.fdtable = FDTable()
+
+    # ------------------------------------------------------------- routing
+    def _route(self, path: str) -> Any:
+        """The backend serving *path*; None means not interceptable."""
+        if in_namespace(path, self.namespace):
+            return self.backend
+        if self.passthrough is not None:
+            return self.passthrough
+        raise PermissionDenied(
+            f"{path!r} is outside the ThemisIO namespace and no "
+            f"passthrough file system is configured")
+
+    def is_intercepted_path(self, path: str) -> bool:
+        """True if *path* falls under the burst-buffer namespace."""
+        return in_namespace(path, self.namespace)
+
+    # ---------------------------------------------------------------- files
+    def open(self, path: str, flags: int = O_RDONLY) -> int:
+        """POSIX ``open``; returns a file descriptor."""
+        norm = normalize(path)
+        fs = self._route(norm)
+        inode = fs.lookup(norm)
+        if inode is None:
+            if not flags & O_CREAT:
+                raise FileNotFound(norm)
+            fs.create(norm)
+        elif inode.is_dir and (flags & _ACCMODE) != O_RDONLY:
+            raise IsADirectory(norm)
+        if flags & O_TRUNC and (flags & _ACCMODE) != O_RDONLY:
+            fs.truncate(norm, 0)
+        open_file = self.fdtable.allocate(norm, flags,
+                                          append=bool(flags & O_APPEND))
+        return open_file.fd
+
+    def close(self, fd: int) -> int:
+        """POSIX ``close``; returns 0."""
+        self.fdtable.close(fd)
+        return 0
+
+    def read(self, fd: int, size: int) -> bytes:
+        """POSIX ``read``: up to *size* bytes from the fd's offset."""
+        if size < 0:
+            raise InvalidArgument(f"negative read size: {size}")
+        open_file = self.fdtable.get(fd)
+        if (open_file.flags & _ACCMODE) == O_WRONLY:
+            raise BadFileDescriptor(f"fd {fd} is write-only")
+        fs = self._route(open_file.path)
+        data = fs.read(open_file.path, open_file.offset, size)
+        open_file.offset += len(data)
+        return data
+
+    def write(self, fd: int, data: bytes) -> int:
+        """POSIX ``write``: bytes written at the fd's offset (EOF if append)."""
+        open_file = self.fdtable.get(fd)
+        if (open_file.flags & _ACCMODE) == O_RDONLY:
+            raise BadFileDescriptor(f"fd {fd} is read-only")
+        fs = self._route(open_file.path)
+        if open_file.append:
+            open_file.offset = fs.stat(open_file.path).size
+        written = fs.write(open_file.path, open_file.offset, data)
+        open_file.offset += written
+        return written
+
+    def lseek(self, fd: int, offset: int, whence: int = SEEK_SET) -> int:
+        """POSIX ``lseek``; returns the new offset."""
+        open_file = self.fdtable.get(fd)
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = open_file.offset + offset
+        elif whence == SEEK_END:
+            fs = self._route(open_file.path)
+            new = fs.stat(open_file.path).size + offset
+        else:
+            raise InvalidArgument(f"bad whence: {whence}")
+        if new < 0:
+            raise InvalidArgument(f"seek before start: {new}")
+        open_file.offset = new
+        return new
+
+    # ---------------------------------------------------------- directories
+    def opendir(self, path: str) -> DirStream:
+        """POSIX ``opendir``; returns a directory stream."""
+        norm = normalize(path)
+        fs = self._route(norm)
+        entries = fs.readdir(norm)
+        return self.fdtable.open_dir(norm, entries)
+
+    def readdir(self, stream: DirStream) -> Optional[str]:
+        """POSIX ``readdir``; next entry name or None at end."""
+        return self.fdtable.get_dir(stream.handle).next_entry()
+
+    def closedir(self, stream: DirStream) -> int:
+        """POSIX ``closedir``; returns 0."""
+        self.fdtable.close_dir(stream.handle)
+        return 0
+
+    # -------------------------------------------------------------- metadata
+    def stat(self, path: str):
+        """POSIX ``stat``; returns a :class:`~repro.fs.Stat`."""
+        norm = normalize(path)
+        return self._route(norm).stat(norm)
+
+    def unlink(self, path: str) -> int:
+        """POSIX ``unlink``; returns 0."""
+        norm = normalize(path)
+        self._route(norm).unlink(norm)
+        return 0
+
+    def mkdir(self, path: str) -> int:
+        """POSIX ``mkdir``; returns 0."""
+        norm = normalize(path)
+        self._route(norm).mkdir(norm)
+        return 0
+
+
+#: The Listing-1 function names wired by :func:`install_interception`.
+LISTING1 = ["open", "close", "read", "write", "lseek",
+            "opendir", "readdir", "closedir", "stat", "unlink"]
+
+
+def install_interception(registry: InterposeRegistry, shim: PosixShim,
+                         originals: Optional[Any] = None) -> None:
+    """Install the shim's Listing-1 functions into *registry*.
+
+    *originals* supplies the un-intercepted implementations (the "real
+    glibc"); by default each original raises, which models a system where
+    the call would leave the simulation.
+    """
+
+    def _missing(name):
+        def _raise(*_a, **_k):
+            raise FileNotFound(f"original {name}() outside the simulation")
+        return _raise
+
+    for name in LISTING1:
+        replacement = getattr(shim, name)
+        original = (getattr(originals, name, None) if originals is not None
+                    else None) or _missing(name)
+        registry.install(name, replacement, original)

@@ -1,0 +1,114 @@
+"""File-descriptor table and directory streams.
+
+POSIX semantics the shim relies on: descriptors are small non-negative
+integers, the lowest free number is allocated first (0–2 are reserved for
+stdio), each open file tracks its own offset, and directory streams
+snapshot entries at ``opendir`` time with a cursor advanced by
+``readdir``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import BadFileDescriptor
+
+__all__ = ["OpenFile", "DirStream", "FDTable"]
+
+FIRST_FD = 3  # 0,1,2 belong to stdio
+
+
+@dataclass
+class OpenFile:
+    """State of one open regular file."""
+
+    fd: int
+    path: str
+    flags: int
+    offset: int = 0
+    append: bool = False
+
+
+@dataclass
+class DirStream:
+    """An open directory stream (``DIR *``)."""
+
+    handle: int
+    path: str
+    entries: List[str] = field(default_factory=list)
+    cursor: int = 0
+
+    def next_entry(self) -> Optional[str]:
+        """The next entry name, or None at end of stream."""
+        if self.cursor >= len(self.entries):
+            return None
+        name = self.entries[self.cursor]
+        self.cursor += 1
+        return name
+
+    def rewind(self) -> None:
+        """Reset the stream to its first entry (rewinddir)."""
+        self.cursor = 0
+
+
+class FDTable:
+    """Per-process descriptor table with lowest-free-fd allocation."""
+
+    def __init__(self):
+        self._files: Dict[int, OpenFile] = {}
+        self._dirs: Dict[int, DirStream] = {}
+        self._next_dir_handle = 1
+
+    # ----------------------------------------------------------------- files
+    def allocate(self, path: str, flags: int, append: bool = False) -> OpenFile:
+        """Open a file at the lowest free descriptor number."""
+        fd = FIRST_FD
+        while fd in self._files:
+            fd += 1
+        open_file = OpenFile(fd=fd, path=path, flags=flags, append=append)
+        self._files[fd] = open_file
+        return open_file
+
+    def get(self, fd: int) -> OpenFile:
+        """The open file behind *fd* (raises EBADF-style error)."""
+        try:
+            return self._files[fd]
+        except KeyError:
+            raise BadFileDescriptor(f"fd {fd}") from None
+
+    def close(self, fd: int) -> None:
+        """Release *fd* (raises if not open)."""
+        if fd not in self._files:
+            raise BadFileDescriptor(f"fd {fd}")
+        del self._files[fd]
+
+    @property
+    def open_count(self) -> int:
+        return len(self._files)
+
+    def open_fds(self) -> List[int]:
+        """The open descriptor numbers, sorted."""
+        return sorted(self._files)
+
+    # ----------------------------------------------------------- directories
+    def open_dir(self, path: str, entries: List[str]) -> DirStream:
+        """Open a directory stream snapshotting *entries*."""
+        stream = DirStream(handle=self._next_dir_handle, path=path,
+                           entries=list(entries))
+        self._next_dir_handle += 1
+        self._dirs[stream.handle] = stream
+        return stream
+
+    def get_dir(self, handle: int) -> DirStream:
+        """The stream behind *handle* (raises if closed)."""
+        try:
+            return self._dirs[handle]
+        except KeyError:
+            raise BadFileDescriptor(f"dir handle {handle}") from None
+
+    def close_dir(self, handle: int) -> None:
+        """Close a directory stream."""
+        if handle not in self._dirs:
+            raise BadFileDescriptor(f"dir handle {handle}")
+        del self._dirs[handle]

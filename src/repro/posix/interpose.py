@@ -1,0 +1,112 @@
+"""I/O function interception (§4.4).
+
+Production supercomputers rarely grant root, so ThemisIO intercepts glibc
+I/O functions in user space using one of two techniques:
+
+- **override** — expose same-named symbols so the dynamic linker binds
+  the application's calls to ThemisIO's implementations (LD_PRELOAD
+  style);
+- **trampoline** — rewrite the first instructions of the original
+  function with a jump into ThemisIO, keeping a relocated prologue so the
+  original can still be invoked.
+
+This module models the dispatch semantics of both: a registry maps
+function names to (replacement, original) pairs. Under ``OVERRIDE`` the
+replacement simply shadows the original. Under ``TRAMPOLINE`` the
+original is reachable *through the registry only* via the saved
+prologue — calling the patched symbol re-enters the replacement, which is
+exactly the hazard the real technique has; :meth:`call_original` is the
+"jump back" path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict
+
+from ..errors import ReproError
+
+__all__ = ["InterceptionMode", "InterposeRegistry", "InterceptStats"]
+
+
+class InterceptionMode(Enum):
+    """The two §4.4 techniques: symbol override or binary trampoline."""
+    OVERRIDE = "override"
+    TRAMPOLINE = "trampoline"
+
+
+@dataclass
+class InterceptStats:
+    """Per-function call accounting."""
+
+    intercepted: int = 0
+    passed_through: int = 0
+
+
+@dataclass
+class _Hook:
+    replacement: Callable
+    original: Callable
+    stats: InterceptStats = field(default_factory=InterceptStats)
+
+
+class InterposeRegistry:
+    """Function interception table for one client process."""
+
+    def __init__(self, mode: InterceptionMode = InterceptionMode.OVERRIDE):
+        self.mode = mode
+        self._hooks: Dict[str, _Hook] = {}
+
+    def install(self, name: str, replacement: Callable,
+                original: Callable) -> None:
+        """Hook *name*: calls route to *replacement*; *original* is saved."""
+        if name in self._hooks:
+            raise ReproError(f"function {name!r} already intercepted")
+        self._hooks[name] = _Hook(replacement=replacement, original=original)
+
+    def uninstall(self, name: str) -> None:
+        """Remove the hook for *name* (raises if absent)."""
+        if name not in self._hooks:
+            raise ReproError(f"function {name!r} is not intercepted")
+        del self._hooks[name]
+
+    def is_intercepted(self, name: str) -> bool:
+        """True if *name* currently has a hook installed."""
+        return name in self._hooks
+
+    def intercepted_functions(self):
+        """The hooked function names, sorted."""
+        return sorted(self._hooks)
+
+    def call(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke *name* the way the application would (post-patching).
+
+        Unhooked functions raise — the application would have called the
+        real symbol directly, which the model has no business emulating.
+        """
+        hook = self._hooks.get(name)
+        if hook is None:
+            raise ReproError(f"function {name!r} is not intercepted")
+        hook.stats.intercepted += 1
+        return hook.replacement(*args, **kwargs)
+
+    def call_original(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """The replacement's escape hatch to the real implementation.
+
+        Under OVERRIDE this is the next symbol in link order (dlsym
+        RTLD_NEXT); under TRAMPOLINE it is the relocated prologue jump.
+        Either way it bypasses the replacement.
+        """
+        hook = self._hooks.get(name)
+        if hook is None:
+            raise ReproError(f"function {name!r} is not intercepted")
+        hook.stats.passed_through += 1
+        return hook.original(*args, **kwargs)
+
+    def stats(self, name: str) -> InterceptStats:
+        """Call accounting for the hooked function *name*."""
+        hook = self._hooks.get(name)
+        if hook is None:
+            raise ReproError(f"function {name!r} is not intercepted")
+        return hook.stats

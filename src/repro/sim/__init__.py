@@ -1,0 +1,36 @@
+"""Discrete-event simulation substrate (built from scratch).
+
+Public surface:
+
+- :class:`Engine` — the kernel: clock + event heap.
+- :class:`Event`, :class:`Timeout`, :class:`Process`, :class:`AllOf`,
+  :class:`AnyOf` — concurrency primitives.
+- :class:`Store`, :class:`PriorityStore`, :class:`Resource`,
+  :class:`BandwidthPipe` — shared resources.
+- :class:`RngRegistry` — named deterministic random streams.
+- :class:`Tracer` — event tracing.
+"""
+
+from .engine import Engine
+from .process import AllOf, AnyOf, Condition, Event, Process, Timeout
+from .resources import BandwidthPipe, PriorityStore, Resource, Store
+from .rng import RngRegistry, stable_hash
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Store",
+    "PriorityStore",
+    "Resource",
+    "BandwidthPipe",
+    "RngRegistry",
+    "stable_hash",
+    "Tracer",
+    "TraceRecord",
+]

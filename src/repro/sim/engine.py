@@ -1,0 +1,174 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event-driven kernel in the SimPy style, written
+from scratch for this reproduction. The :class:`Engine` owns a virtual
+clock and a binary heap of scheduled :class:`~repro.sim.process.Event`
+objects. Events scheduled at equal times fire in scheduling order (a
+monotonically increasing sequence number breaks ties), which makes every
+run bit-for-bit reproducible given the same seeds.
+
+Typical usage::
+
+    from repro.sim import Engine
+
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(1.5)
+        print("t =", eng.now)
+
+    eng.process(proc(eng))
+    eng.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import SimulationError, StopSimulation
+from .process import AllOf, AnyOf, Event, Process, Timeout
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """The simulation kernel: virtual clock plus event queue.
+
+    Parameters
+    ----------
+    start:
+        Initial value of the simulated clock (seconds).
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: list = []  # entries: (time, seq, event)
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue *event* to fire ``delay`` seconds from now.
+
+        An event may be scheduled only once; it fires by invoking its
+        callbacks with the event as the sole argument.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        if event.scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Return a fresh, untriggered event."""
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Spawn *generator* as a simulation process and return its handle."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires once every event in *events* has succeeded."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires as soon as any event in *events* triggers."""
+        return AnyOf(self, list(events))
+
+    # ---------------------------------------------------------------- running
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event; raise SimulationError if none remain."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._fire()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue drains or the clock reaches *until*.
+
+        If *until* is given, the clock is advanced to exactly ``until`` when
+        the run ends because of the deadline (even if the queue still holds
+        later events). An unhandled failure in any process propagates out of
+        this call.
+        """
+        if until is not None:
+            until = float(until)
+            if until < self._now:
+                raise SimulationError(
+                    f"until={until!r} is in the past (now={self._now!r})"
+                )
+        self._stop_requested = False
+        try:
+            while self._heap:
+                if self._stop_requested:
+                    return
+                if until is not None and self._heap[0][0] > until:
+                    self._now = until
+                    return
+                self.step()
+        except StopSimulation:
+            return
+        if until is not None:
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` immediately (from inside a callback)."""
+        raise StopSimulation()
+
+    def request_stop(self) -> None:
+        """Stop :meth:`run` after the current event finishes processing.
+
+        Safe to call from inside a process (unlike :meth:`stop`, which
+        unwinds via an exception and would mark the caller failed).
+        """
+        self._stop_requested = True
+
+    # ---------------------------------------------------------------- helpers
+    def call_at(self, when: float, fn: Callable[[], Any]) -> Event:
+        """Schedule a plain callback at absolute time *when*."""
+        if when < self._now:
+            raise SimulationError(f"call_at({when}) is in the past")
+        ev = Timeout(self, when - self._now)
+        ev.callbacks.append(lambda _e: fn())
+        return ev
+
+    def every(self, interval: float, fn: Callable[[], Any],
+              start_delay: Optional[float] = None) -> Process:
+        """Run ``fn()`` every *interval* seconds forever; returns the process."""
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive: {interval!r}")
+
+        def _ticker():
+            yield self.timeout(interval if start_delay is None else start_delay)
+            while True:
+                fn()
+                yield self.timeout(interval)
+
+        return self.process(_ticker())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine now={self._now:.6f} pending={len(self._heap)}>"

@@ -1,0 +1,209 @@
+"""Shared simulated resources: stores, semaphores, and bandwidth pipes.
+
+These follow the event protocol of :mod:`repro.sim.process`: every blocking
+operation returns an :class:`~repro.sim.process.Event` that a process
+yields on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List
+
+from ..errors import SimulationError
+from .process import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+
+__all__ = ["Store", "PriorityStore", "Resource", "BandwidthPipe"]
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of arbitrary items.
+
+    ``put(item)`` and ``get()`` both return events. With a finite
+    *capacity*, puts block while the store is full.
+    """
+
+    def __init__(self, engine: "Engine", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.engine = engine
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()  # events carrying ._item
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def pending_getters(self) -> int:
+        return len(self._getters)
+
+    def put(self, item: Any) -> Event:
+        """Insert *item*; the returned event succeeds once the item is stored."""
+        ev = Event(self.engine)
+        ev._item = item
+        self._putters.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event's value is the item."""
+        ev = Event(self.engine)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def try_get(self) -> Any:
+        """Non-blocking get: pop and return an item, or None if empty."""
+        if self.items:
+            item = self.items.popleft()
+            self._dispatch()
+            return item
+        return None
+
+    def _dispatch(self) -> None:
+        # Admit queued puts while there is room.
+        while self._putters and len(self.items) < self.capacity:
+            put_ev = self._putters.popleft()
+            self.items.append(put_ev._item)
+            put_ev.succeed()
+        # Satisfy queued gets while items exist.
+        while self._getters and self.items:
+            get_ev = self._getters.popleft()
+            get_ev.succeed(self.items.popleft())
+            # An item left may unblock a putter.
+            while self._putters and len(self.items) < self.capacity:
+                put_ev = self._putters.popleft()
+                self.items.append(put_ev._item)
+                put_ev.succeed()
+
+
+class PriorityStore(Store):
+    """A store whose ``get`` returns the smallest item (heap order).
+
+    Items must be comparable; use ``(priority, seq, payload)`` tuples for
+    deterministic tie-breaking.
+    """
+
+    def __init__(self, engine: "Engine", capacity: float = float("inf")):
+        super().__init__(engine, capacity)
+        self.items: List[Any] = []  # heap
+
+    def _dispatch(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            put_ev = self._putters.popleft()
+            heapq.heappush(self.items, put_ev._item)
+            put_ev.succeed()
+        while self._getters and self.items:
+            get_ev = self._getters.popleft()
+            get_ev.succeed(heapq.heappop(self.items))
+            while self._putters and len(self.items) < self.capacity:
+                put_ev = self._putters.popleft()
+                heapq.heappush(self.items, put_ev._item)
+                put_ev.succeed()
+
+    def try_get(self) -> Any:
+        if self.items:
+            item = heapq.heappop(self.items)
+            self._dispatch()
+            return item
+        return None
+
+
+class Resource:
+    """A counting semaphore with FIFO queuing.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, engine: "Engine", capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.engine = engine
+        self.capacity = int(capacity)
+        self._holders: set = set()
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._holders)
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Event that fires once a slot is held (FIFO among waiters)."""
+        ev = Event(self.engine)
+        if len(self._holders) < self.capacity:
+            self._holders.add(ev)
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self, request: Event) -> None:
+        """Release the slot held by *request*, promoting a waiter."""
+        if request not in self._holders:
+            raise SimulationError("releasing a request that does not hold the resource")
+        self._holders.discard(request)
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            self._holders.add(nxt)
+            nxt.succeed()
+
+
+class BandwidthPipe:
+    """A serialising link: transfers complete at ``size / rate`` in FIFO order.
+
+    Models a NIC or device channel where transmissions queue behind each
+    other; the pipe is busy until its last accepted transfer drains.
+    ``transfer(nbytes)`` returns an event succeeding at the completion time.
+    A per-transfer fixed ``latency`` is added after serialisation.
+    """
+
+    def __init__(self, engine: "Engine", rate: float, latency: float = 0.0):
+        if rate <= 0:
+            raise SimulationError("rate must be positive")
+        if latency < 0:
+            raise SimulationError("latency must be non-negative")
+        self.engine = engine
+        self.rate = float(rate)
+        self.latency = float(latency)
+        self._free_at = 0.0  # time the pipe drains
+        self.bytes_moved = 0
+
+    @property
+    def busy_until(self) -> float:
+        return max(self._free_at, self.engine.now)
+
+    def transfer(self, nbytes: float, value: Any = None) -> Event:
+        """Queue a transfer of *nbytes*; the event fires when it completes."""
+        if nbytes < 0:
+            raise SimulationError("nbytes must be non-negative")
+        start = max(self._free_at, self.engine.now)
+        self._free_at = start + nbytes / self.rate
+        self.bytes_moved += int(nbytes)
+        done = Event(self.engine)
+        done._ok = True
+        done._value = value
+        self.engine.schedule(done, self._free_at + self.latency - self.engine.now)
+        return done
+
+    def eta(self, nbytes: float) -> float:
+        """Completion time a transfer of *nbytes* would get if queued now."""
+        start = max(self._free_at, self.engine.now)
+        return start + nbytes / self.rate + self.latency

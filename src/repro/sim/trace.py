@@ -1,0 +1,67 @@
+"""Lightweight event tracing for debugging and metrics extraction.
+
+A :class:`Tracer` records ``(time, category, payload)`` tuples. Categories
+are plain strings (``"io.complete"``, ``"sync.gather"`` ...). Recording is
+O(1) appends; filtering happens at read time. Disabled categories cost a
+set lookup only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    payload: Any
+
+    def __iter__(self):
+        return iter((self.time, self.category, self.payload))
+
+
+class Tracer:
+    """Collects trace records from the simulation.
+
+    Parameters
+    ----------
+    engine:
+        Supplies timestamps.
+    enabled:
+        If given, only these categories are recorded; otherwise everything.
+    """
+
+    def __init__(self, engine: "Engine", enabled: Optional[Set[str]] = None):
+        self.engine = engine
+        self.enabled = set(enabled) if enabled is not None else None
+        self.records: List[TraceRecord] = []
+
+    def emit(self, category: str, payload: Any = None) -> None:
+        """Record an event in *category* at the current simulated time."""
+        if self.enabled is not None and category not in self.enabled:
+            return
+        self.records.append(TraceRecord(self.engine.now, category, payload))
+
+    def select(self, category: str) -> Iterator[TraceRecord]:
+        """Iterate records of exactly *category*."""
+        return (r for r in self.records if r.category == category)
+
+    def select_prefix(self, prefix: str) -> Iterator[TraceRecord]:
+        """Iterate records whose category starts with *prefix*."""
+        return (r for r in self.records if r.category.startswith(prefix))
+
+    def clear(self) -> None:
+        """Discard all recorded trace entries."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,15 @@
+"""UCX-like communication substrate: UCP contexts/workers/endpoints + RPC."""
+
+from .rpc import RpcClient, RpcRequest, RpcServer
+from .ucp import Address, Endpoint, UCPContext, UCPWorker, WorkerPool
+
+__all__ = [
+    "UCPContext",
+    "UCPWorker",
+    "Endpoint",
+    "WorkerPool",
+    "Address",
+    "RpcClient",
+    "RpcServer",
+    "RpcRequest",
+]

@@ -1,0 +1,111 @@
+"""Request/response framing on top of UCP workers.
+
+A thin RPC layer: clients issue tagged calls with correlation ids; the
+server hands each inbound call to a request callback as an
+:class:`RpcRequest`, which carries a ``reply()`` method. Replies may be
+sent immediately or after arbitrary simulated processing — ThemisIO's
+servers answer only after the scheduled I/O worker finishes the request,
+so the reply path must be detachable from the receive path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict
+
+from ..errors import UCXError
+from ..sim.process import Event
+from .ucp import Address, Endpoint, UCPWorker
+
+__all__ = ["RpcClient", "RpcServer", "RpcRequest"]
+
+REQ_TAG = "rpc.req"
+RESP_TAG = "rpc.resp"
+
+_call_ids = itertools.count(1)
+
+
+class RpcRequest:
+    """An inbound call as seen by the server."""
+
+    def __init__(self, server: "RpcServer", msg_payload: Dict[str, Any]):
+        self._server = server
+        self.op: str = msg_payload["op"]
+        self.body: Any = msg_payload["body"]
+        self.size: int = msg_payload["size"]
+        self.cid: int = msg_payload["cid"]
+        self.reply_to: Address = msg_payload["reply_to"]
+        self.replied = False
+
+    def reply(self, body: Any = None, size: int = 0) -> Event:
+        """Send the response (once); the event fires on remote enqueue."""
+        if self.replied:
+            raise UCXError(f"duplicate reply to call {self.cid}")
+        self.replied = True
+        ep = self._server.worker.create_endpoint(self.reply_to)
+        return ep.send(RESP_TAG, {"cid": self.cid, "body": body}, size=size)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RpcRequest op={self.op!r} cid={self.cid}>"
+
+
+class RpcServer:
+    """Dispatches inbound calls on a worker to *on_request*."""
+
+    def __init__(self, worker: UCPWorker,
+                 on_request: Callable[[RpcRequest], None]):
+        self.worker = worker
+        self.on_request = on_request
+        worker.on(REQ_TAG, self._handle)
+        self.calls_received = 0
+
+    def _handle(self, msg) -> None:
+        self.calls_received += 1
+        self.on_request(RpcRequest(self, msg.payload))
+
+
+class RpcClient:
+    """Issues calls from a local worker to a remote RPC server."""
+
+    def __init__(self, worker: UCPWorker, remote: Address):
+        self.worker = worker
+        self.endpoint: Endpoint = worker.create_endpoint(remote)
+        self._pending: Dict[int, Event] = {}
+        worker.on(RESP_TAG, self._on_response)
+
+    def call(self, op: str, body: Any = None, size: int = 0) -> Event:
+        """Invoke *op* remotely; the event's value is the response body.
+
+        ``size`` is the request's on-wire byte count (e.g. write payload
+        bytes); response size is chosen by the server when replying.
+        """
+        cid = next(_call_ids)
+        done = Event(self.worker.engine)
+        self._pending[cid] = done
+        self.endpoint.send(
+            REQ_TAG,
+            {
+                "op": op,
+                "body": body,
+                "size": size,
+                "cid": cid,
+                "reply_to": self.worker.address,
+            },
+            size=size,
+        )
+        return done
+
+    def _on_response(self, msg) -> None:
+        cid = msg.payload["cid"]
+        done = self._pending.pop(cid, None)
+        if done is None:
+            raise UCXError(f"response for unknown call id {cid}")
+        done.succeed(msg.payload["body"])
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    def close(self) -> None:
+        """Tear down the response handler (no further calls)."""
+        self.worker.off(RESP_TAG)

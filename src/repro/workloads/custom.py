@@ -1,0 +1,114 @@
+"""The paper's customized benchmarks (§5.1, §5.3.1).
+
+- :class:`WriteReadCycle` — the §5.3 sharing benchmark: "opens one file
+  per process. Each process writes 10 MB of data to its file, then reads
+  it back, and continues to repeat this write/read cycle".
+- :class:`IopsWriteRead` — ``iops_write_read``: "writes a small (1 MB)
+  file then reads the same file repeatedly"; also the §5.5 background
+  interference job.
+- :class:`IopsStat` — ``iops_stat``: "repeatedly calls stat() to query
+  file metadata with randomly generated file names".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigError
+from ..units import MB
+from .base import Workload
+
+__all__ = ["WriteReadCycle", "IopsWriteRead", "IopsStat", "PinnedWriter"]
+
+
+class WriteReadCycle(Workload):
+    """Write *file_size* to a private file, read it back, repeat."""
+
+    def __init__(self, file_size: int = 10 * MB,
+                 request_size: Optional[int] = None,
+                 streams_per_node: int = 4):
+        if file_size <= 0:
+            raise ConfigError("file_size must be positive")
+        self.file_size = int(file_size)
+        self.request_size = int(request_size or file_size)
+        if self.request_size <= 0 or self.request_size > self.file_size:
+            raise ConfigError("request_size must be in (0, file_size]")
+        self.streams_per_node = streams_per_node
+
+    def run_stream(self, engine, client, rng, prefix, stream_idx, stop_time):
+        path = f"{prefix}/cycle-{client.client_id}-{stream_idx}"
+        yield from client.create(path)
+        while not self._expired(engine, stop_time):
+            offset = 0
+            while offset < self.file_size:
+                take = min(self.request_size, self.file_size - offset)
+                yield from client.write(path, offset, take)
+                offset += take
+            offset = 0
+            while offset < self.file_size and not self._expired(engine, stop_time):
+                take = min(self.request_size, self.file_size - offset)
+                yield from client.read(path, offset, take)
+                offset += take
+
+
+class IopsWriteRead(Workload):
+    """1 MB write-then-read cycles on one small file per stream."""
+
+    def __init__(self, file_size: int = 1 * MB, streams_per_node: int = 8):
+        if file_size <= 0:
+            raise ConfigError("file_size must be positive")
+        self.file_size = int(file_size)
+        self.streams_per_node = streams_per_node
+
+    def run_stream(self, engine, client, rng, prefix, stream_idx, stop_time):
+        path = f"{prefix}/iops-{client.client_id}-{stream_idx}"
+        yield from client.create(path)
+        while not self._expired(engine, stop_time):
+            yield from client.write(path, 0, self.file_size)
+            yield from client.read(path, 0, self.file_size)
+
+
+class PinnedWriter(Workload):
+    """Write loops on *fixed* file paths (placement-controlled).
+
+    The λ-delayed fairness experiment (§5.6) needs each job's files on a
+    chosen, disjoint set of servers so the cluster *starts* globally
+    unfair. Stream *i* hammers ``paths[i % len(paths)]`` with sequential
+    fixed-size writes.
+    """
+
+    def __init__(self, paths, request_size: int = 2 * MB,
+                 streams_per_node: int = 8):
+        self.paths = list(paths)
+        if not self.paths:
+            raise ConfigError("PinnedWriter needs at least one path")
+        if request_size <= 0:
+            raise ConfigError("request_size must be positive")
+        self.request_size = int(request_size)
+        self.streams_per_node = streams_per_node
+
+    def run_stream(self, engine, client, rng, prefix, stream_idx, stop_time):
+        path = self.paths[stream_idx % len(self.paths)]
+        parent = path.rsplit("/", 1)[0] or "/"
+        client.fs.makedirs(parent)  # placement setup, not timed I/O
+        if not client.fs.exists(path):
+            yield from client.create(path)
+        offset = 0
+        while not self._expired(engine, stop_time):
+            yield from client.write(path, offset, self.request_size)
+            offset = (offset + self.request_size) % (64 * self.request_size)
+
+
+class IopsStat(Workload):
+    """stat() storms over randomly generated (mostly missing) names."""
+
+    def __init__(self, name_space: int = 10_000, streams_per_node: int = 8):
+        if name_space < 1:
+            raise ConfigError("name_space must be >= 1")
+        self.name_space = int(name_space)
+        self.streams_per_node = streams_per_node
+
+    def run_stream(self, engine, client, rng, prefix, stream_idx, stop_time):
+        while not self._expired(engine, stop_time):
+            name = int(rng.integers(0, self.name_space))
+            yield from client.stat(f"{prefix}/random-{name}")

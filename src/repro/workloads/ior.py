@@ -1,0 +1,72 @@
+"""IOR-like sequential benchmark (§5.2).
+
+Fig. 7's scaling runs: "an equal number of nodes were each running
+eight IOR processes, writing and reading 1 GB files in 1 MB blocks",
+measured unidirectionally (a pure-write phase, then a pure-read phase).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..units import GiB, MiB
+from .base import Workload
+
+__all__ = ["IORWorkload"]
+
+
+class IORWorkload(Workload):
+    """Sequential block I/O on one file per stream.
+
+    Parameters
+    ----------
+    file_size / block_size:
+        Total bytes per stream and the transfer size (paper: 1 GiB / 1 MiB).
+    mode:
+        ``"write"`` or ``"read"`` for unidirectional runs (the file is
+        pre-written before reads), or ``"writeread"`` for both phases.
+    repeat:
+        Loop the phase until *stop_time* (throughput measurement) instead
+        of finishing after one pass.
+    """
+
+    MODES = ("write", "read", "writeread")
+
+    def __init__(self, file_size: int = GiB, block_size: int = MiB,
+                 mode: str = "write", repeat: bool = True,
+                 streams_per_node: int = 8):
+        if mode not in self.MODES:
+            raise ConfigError(f"mode must be one of {self.MODES}: {mode!r}")
+        if file_size <= 0 or block_size <= 0 or block_size > file_size:
+            raise ConfigError("need 0 < block_size <= file_size")
+        self.file_size = int(file_size)
+        self.block_size = int(block_size)
+        self.mode = mode
+        self.repeat = repeat
+        self.streams_per_node = streams_per_node
+
+    def _pass(self, engine, client, path, op, stop_time):
+        offset = 0
+        while offset < self.file_size:
+            if self._expired(engine, stop_time):
+                return
+            take = min(self.block_size, self.file_size - offset)
+            if op == "write":
+                yield from client.write(path, offset, take)
+            else:
+                yield from client.read(path, offset, take)
+            offset += take
+
+    def run_stream(self, engine, client, rng, prefix, stream_idx, stop_time):
+        path = f"{prefix}/ior-{client.client_id}-{stream_idx}"
+        yield from client.create(path)
+        if self.mode == "read":
+            # Pre-populate without charging the measurement: extend the
+            # file's logical size directly (setup, not timed I/O).
+            client.fs.write_accounting(path, self.file_size, 0)
+        while True:
+            if self.mode in ("write", "writeread"):
+                yield from self._pass(engine, client, path, "write", stop_time)
+            if self.mode in ("read", "writeread"):
+                yield from self._pass(engine, client, path, "read", stop_time)
+            if not self.repeat or self._expired(engine, stop_time):
+                return

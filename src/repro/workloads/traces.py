@@ -1,0 +1,141 @@
+"""Trace-driven workloads: replay recorded I/O operation streams.
+
+Production studies often start from I/O traces (Darshan logs, strace
+captures). :class:`TraceWorkload` replays a list of :class:`TraceOp`
+records through the burst-buffer client — either *timed* (each op waits
+for its recorded timestamp, preserving burstiness) or *as-fast-as-
+possible* (closed-loop, for saturation studies). A simple CSV codec
+(``time,op,path,offset,size``) covers interchange; paths may contain
+``{stream}`` and ``{client}`` placeholders so one trace fans out across
+streams without false sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..errors import ConfigError
+from .base import Workload
+
+__all__ = ["TraceOp", "TraceWorkload", "parse_trace_csv", "format_trace_csv"]
+
+_VALID_OPS = {"write", "read", "stat", "open", "unlink", "mkdir", "readdir"}
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One recorded I/O operation, timestamped from stream start."""
+
+    time: float
+    op: str
+    path: str
+    offset: int = 0
+    size: int = 0
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ConfigError(f"negative timestamp: {self.time}")
+        if self.op not in _VALID_OPS:
+            raise ConfigError(f"unknown trace op {self.op!r}")
+        if self.offset < 0 or self.size < 0:
+            raise ConfigError(f"negative offset/size in trace op: {self}")
+        if self.op in ("write", "read") and self.size == 0:
+            raise ConfigError(f"data op with zero size: {self}")
+
+
+def parse_trace_csv(text: str) -> List[TraceOp]:
+    """Parse ``time,op,path[,offset[,size]]`` lines ('#' comments skipped)."""
+    ops: List[TraceOp] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split(",")]
+        if len(parts) < 3:
+            raise ConfigError(f"trace line {lineno}: expected at least "
+                              f"time,op,path: {raw!r}")
+        try:
+            time = float(parts[0])
+            offset = int(parts[3]) if len(parts) > 3 and parts[3] else 0
+            size = int(parts[4]) if len(parts) > 4 and parts[4] else 0
+        except ValueError as exc:
+            raise ConfigError(f"trace line {lineno}: {exc}") from None
+        ops.append(TraceOp(time=time, op=parts[1], path=parts[2],
+                           offset=offset, size=size))
+    ops.sort(key=lambda op: op.time)
+    return ops
+
+
+def format_trace_csv(ops: Iterable[TraceOp]) -> str:
+    """Serialise ops back to the CSV form accepted by :func:`parse_trace_csv`."""
+    lines = ["# time,op,path,offset,size"]
+    for op in ops:
+        lines.append(f"{op.time},{op.op},{op.path},{op.offset},{op.size}")
+    return "\n".join(lines) + "\n"
+
+
+class TraceWorkload(Workload):
+    """Replay a trace through the burst buffer.
+
+    Parameters
+    ----------
+    ops:
+        The trace, ordered by time.
+    timed:
+        True (default): each op waits for its recorded timestamp —
+        burstiness is preserved. False: ops run back-to-back.
+    loop:
+        Repeat the trace until *stop_time* (open-ended benchmarks).
+    """
+
+    def __init__(self, ops: Iterable[TraceOp], timed: bool = True,
+                 loop: bool = False, streams_per_node: int = 1):
+        self.ops = sorted(ops, key=lambda op: op.time)
+        if not self.ops:
+            raise ConfigError("empty trace")
+        self.timed = timed
+        self.loop = loop
+        self.streams_per_node = streams_per_node
+
+    def _resolve(self, op: TraceOp, client, prefix: str,
+                 stream_idx: int) -> str:
+        path = op.path.format(stream=stream_idx, client=client.client_id)
+        if not path.startswith("/"):
+            path = f"{prefix}/{path}"
+        return path
+
+    def run_stream(self, engine, client, rng, prefix, stream_idx, stop_time):
+        created = set()
+        while True:
+            start = engine.now
+            for op in self.ops:
+                if self._expired(engine, stop_time):
+                    return
+                if self.timed:
+                    due = start + op.time
+                    if due > engine.now:
+                        yield engine.timeout(due - engine.now)
+                path = self._resolve(op, client, prefix, stream_idx)
+                if op.op in ("write", "read") and path not in created \
+                        and not client.fs.exists(path):
+                    yield from client.create(path)
+                    created.add(path)
+                if op.op == "write":
+                    yield from client.write(path, op.offset, op.size)
+                elif op.op == "read":
+                    yield from client.read(path, op.offset, op.size)
+                elif op.op == "stat":
+                    yield from client.stat(path)
+                elif op.op == "open":
+                    yield from client.create(path)
+                    created.add(path)
+                elif op.op == "unlink":
+                    yield from client.unlink(path)
+                    created.discard(path)
+                elif op.op == "mkdir":
+                    yield from client.mkdir(path)
+                elif op.op == "readdir":
+                    yield from client.readdir(path)
+            if not self.loop or self._expired(engine, stop_time):
+                return

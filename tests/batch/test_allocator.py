@@ -1,0 +1,56 @@
+"""Tests for exclusive compute-node allocation."""
+
+import pytest
+
+from repro.batch import NodePool
+from repro.errors import ConfigError
+
+
+class TestNodePool:
+    def test_allocate_grants_exclusive_nodes(self):
+        pool = NodePool(8)
+        a = pool.allocate(1, 3)
+        b = pool.allocate(2, 3)
+        assert len(a) == 3 and len(b) == 3
+        assert not set(a) & set(b)
+        assert pool.free_nodes == 2
+
+    def test_over_allocation_returns_none(self):
+        pool = NodePool(4)
+        pool.allocate(1, 3)
+        assert pool.allocate(2, 2) is None
+        assert pool.can_fit(1)
+
+    def test_release_returns_nodes(self):
+        pool = NodePool(4)
+        pool.allocate(1, 4)
+        assert pool.release(1) == 4
+        assert pool.free_nodes == 4
+
+    def test_double_allocation_rejected(self):
+        pool = NodePool(4)
+        pool.allocate(1, 1)
+        with pytest.raises(ConfigError):
+            pool.allocate(1, 1)
+
+    def test_release_without_allocation_rejected(self):
+        with pytest.raises(ConfigError):
+            NodePool(4).release(9)
+
+    def test_utilization(self):
+        pool = NodePool(10)
+        pool.allocate(1, 5)
+        assert pool.utilization() == 0.5
+        assert pool.busy_nodes == 5
+
+    def test_holding(self):
+        pool = NodePool(4)
+        granted = pool.allocate(1, 2)
+        assert pool.holding(1) == set(granted)
+        assert pool.holding(2) == set()
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            NodePool(0)
+        with pytest.raises(ConfigError):
+            NodePool(4).allocate(1, 0)

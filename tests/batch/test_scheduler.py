@@ -1,0 +1,146 @@
+"""Tests for the batch scheduler: queueing, backfill, lifecycle metrics,
+and the interaction with the burst buffer."""
+
+import pytest
+
+from repro.batch import BatchScheduler, JobState
+from repro.bb import Cluster, ClusterConfig
+from repro.errors import ConfigError
+from repro.units import MB
+from repro.workloads import ApplicationWorkload, AppProfile, JobSpec
+
+
+def app(steps=3, compute=0.05, io_bytes=2 * MB):
+    return ApplicationWorkload(AppProfile(
+        name="batchapp", nodes=1, steps=steps, compute_per_step=compute,
+        io_every=1, io_bytes=io_bytes, io_request=MB, io_op="write"))
+
+
+def make(n_nodes=8, backfill=True, policy="size-fair"):
+    cluster = Cluster(ClusterConfig(n_servers=1, policy=policy))
+    return BatchScheduler(cluster, n_compute_nodes=n_nodes,
+                          backfill=backfill)
+
+
+def spec(jid, nodes=1):
+    return JobSpec(job_id=jid, user=f"u{jid}", nodes=nodes)
+
+
+class TestLifecycle:
+    def test_job_runs_and_completes(self):
+        sched = make()
+        job = sched.submit(spec(1), app(), submit_time=0.0)
+        sched.run(until=10.0)
+        assert job.state is JobState.DONE
+        assert job.wait_time == pytest.approx(0.0)
+        assert job.runtime > 0.1  # 3 steps of 50 ms compute
+        assert sched.pool.free_nodes == 8  # nodes returned
+
+    def test_submit_time_respected(self):
+        sched = make()
+        job = sched.submit(spec(1), app(), submit_time=1.0)
+        sched.run(until=10.0)
+        assert job.start_time == pytest.approx(1.0, abs=0.01)
+
+    def test_job_waits_for_nodes(self):
+        sched = make(n_nodes=2)
+        first = sched.submit(spec(1, nodes=2), app(steps=4), submit_time=0.0)
+        second = sched.submit(spec(2, nodes=2), app(steps=1), submit_time=0.0)
+        sched.run(until=10.0)
+        assert second.start_time >= first.end_time
+        assert second.wait_time > 0.1
+
+    def test_oversized_job_rejected(self):
+        sched = make(n_nodes=4)
+        with pytest.raises(ConfigError):
+            sched.submit(spec(1, nodes=8), app())
+
+    def test_duplicate_ids_rejected(self):
+        sched = make()
+        sched.submit(spec(1), app())
+        with pytest.raises(ConfigError):
+            sched.submit(spec(1), app())
+
+
+class TestBackfill:
+    def layout(self, backfill):
+        # 4 nodes: job1 takes 3 (long), job2 wants 4 (blocked),
+        # job3 wants 1 (can backfill around job2).
+        sched = make(n_nodes=4, backfill=backfill)
+        j1 = sched.submit(spec(1, nodes=3), app(steps=6), submit_time=0.0)
+        j2 = sched.submit(spec(2, nodes=4), app(steps=1), submit_time=0.01)
+        j3 = sched.submit(spec(3, nodes=1), app(steps=1), submit_time=0.02)
+        sched.run(until=30.0)
+        assert sched.all_done
+        return j1, j2, j3
+
+    def test_backfill_lets_small_job_jump(self):
+        j1, j2, j3 = self.layout(backfill=True)
+        assert j3.start_time < j2.start_time
+        assert j3.start_time < j1.end_time  # ran alongside job 1
+
+    def test_strict_fcfs_blocks_behind_head(self):
+        j1, j2, j3 = self.layout(backfill=False)
+        assert j3.start_time >= j2.start_time
+
+
+class TestWalltime:
+    def test_open_ended_workload_stops_at_walltime(self):
+        from repro.workloads import IopsWriteRead
+        sched = make()
+        job = sched.submit(spec(1), IopsWriteRead(file_size=MB,
+                                                  streams_per_node=2),
+                           submit_time=0.0, walltime=0.3)
+        sched.run(until=5.0)
+        assert job.state is JobState.DONE
+        assert job.runtime == pytest.approx(0.3, abs=0.05)
+
+    def test_stuck_job_is_killed_at_walltime(self):
+        # A fixed-step app that would run ~5 s gets a 0.2 s limit.
+        sched = make()
+        job = sched.submit(spec(1), app(steps=100, compute=0.05),
+                           submit_time=0.0, walltime=0.2)
+        sched.run(until=5.0)
+        assert job.state is JobState.DONE
+        assert job.timed_out
+        assert job.runtime < 0.5
+        assert sched.pool.free_nodes == 8  # nodes reclaimed
+
+    def test_killed_job_frees_nodes_for_queue(self):
+        sched = make(n_nodes=1)
+        hog = sched.submit(spec(1), app(steps=1000, compute=0.05),
+                           submit_time=0.0, walltime=0.2)
+        waiter = sched.submit(spec(2), app(steps=1), submit_time=0.0)
+        sched.run(until=10.0)
+        assert hog.timed_out
+        assert waiter.state is JobState.DONE
+        assert waiter.start_time >= hog.end_time
+
+    def test_invalid_walltime(self):
+        sched = make()
+        with pytest.raises(ConfigError):
+            sched.submit(spec(1), app(), walltime=0.0)
+
+
+class TestMetrics:
+    def test_makespan_and_turnaround(self):
+        sched = make(n_nodes=2)
+        sched.submit(spec(1, nodes=2), app(steps=2), submit_time=0.0)
+        sched.submit(spec(2, nodes=2), app(steps=2), submit_time=0.0)
+        sched.run(until=30.0)
+        assert sched.all_done
+        assert sched.makespan() > 0.2  # two serialized ~0.1s+ jobs
+        assert sched.mean_turnaround() > 0.1
+
+    def test_metrics_require_completion(self):
+        sched = make()
+        sched.submit(spec(1), app(steps=100), submit_time=0.0)
+        sched.run(until=0.01)
+        with pytest.raises(ConfigError):
+            sched.makespan()
+
+    def test_jobs_do_io_through_the_burst_buffer(self):
+        sched = make()
+        sched.submit(spec(1), app(io_bytes=4 * MB), submit_time=0.0)
+        sched.run(until=10.0)
+        assert sched.cluster.sampler.total_bytes(1) == 3 * 4 * MB

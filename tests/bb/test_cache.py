@@ -1,0 +1,123 @@
+"""Tests for the client read cache: unit-level LRU semantics plus the
+end-to-end effect (cached reads skip the server entirely)."""
+
+import pytest
+
+from repro.bb import Cluster, ClusterConfig, ClientConfig
+from repro.bb.cache import ClientCache
+from repro.core import JobInfo
+from repro.errors import ConfigError
+from repro.units import MB
+
+
+class TestClientCacheUnit:
+    def make(self, capacity=4096, block=1024):
+        return ClientCache(capacity, block_size=block)
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        assert not cache.covers("/f", 0, 1000)
+        cache.fill("/f", 0, 1000)
+        assert cache.covers("/f", 0, 1000)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_partial_coverage_is_a_miss(self):
+        cache = self.make()
+        cache.fill("/f", 0, 1024)  # block 0 only
+        assert not cache.covers("/f", 0, 2048)  # needs blocks 0 and 1
+
+    def test_block_rounding(self):
+        cache = self.make()
+        cache.fill("/f", 100, 10)  # lands in block 0
+        assert cache.covers("/f", 0, 50)
+
+    def test_lru_eviction(self):
+        cache = self.make(capacity=2048, block=1024)  # 2 blocks
+        cache.fill("/f", 0, 1024)      # block 0
+        cache.fill("/f", 1024, 1024)   # block 1
+        cache.covers("/f", 0, 100)     # touch block 0 (now most recent)
+        cache.fill("/f", 2048, 1024)   # block 2 evicts block 1
+        assert cache.covers("/f", 0, 100)
+        assert not cache.covers("/f", 1024, 100)
+        assert cache.evictions == 1
+
+    def test_write_invalidates_overlap_only(self):
+        cache = self.make()
+        cache.fill("/f", 0, 3072)  # blocks 0-2
+        assert cache.invalidate("/f", 1024, 100) == 1
+        assert cache.covers("/f", 0, 1024)
+        assert not cache.covers("/f", 1024, 1024)
+
+    def test_invalidate_path(self):
+        cache = self.make()
+        cache.fill("/a", 0, 2048)
+        cache.fill("/b", 0, 1024)
+        assert cache.invalidate_path("/a") == 2
+        assert cache.covers("/b", 0, 1024)
+
+    def test_paths_do_not_collide(self):
+        cache = self.make()
+        cache.fill("/a", 0, 1024)
+        assert not cache.covers("/b", 0, 1024)
+
+    def test_zero_length_range_covered(self):
+        assert self.make().covers("/f", 0, 0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            ClientCache(0)
+        with pytest.raises(ConfigError):
+            ClientCache(100, block_size=200)
+
+
+class TestCacheInTheStack:
+    def make_cluster(self, cache_bytes):
+        cfg = ClusterConfig(n_servers=1, policy="job-fair",
+                            client=ClientConfig(cache_bytes=cache_bytes))
+        cluster = Cluster(cfg)
+        cluster.fs.makedirs("/fs/data")
+        return cluster
+
+    def run_reads(self, cache_bytes, n_reads=5):
+        cluster = self.make_cluster(cache_bytes)
+        client = cluster.add_client(JobInfo(job_id=1, user="u", size=1))
+        done = {}
+
+        def app():
+            yield from client.create("/fs/data/f")
+            yield from client.write("/fs/data/f", 0, 4 * MB)
+            total = 0
+            for _ in range(n_reads):
+                total += yield from client.read("/fs/data/f", 0, 4 * MB)
+            done["read"] = total
+
+        cluster.engine.process(app())
+        cluster.run(until=5.0)
+        return cluster, done["read"]
+
+    def test_disabled_by_default(self):
+        cluster, _ = self.run_reads(cache_bytes=0)
+        # Every read hit the server.
+        assert cluster.sampler.op_count(op="read") == 5
+
+    def test_repeated_reads_served_from_cache(self):
+        cluster, read = self.run_reads(cache_bytes=64 * MB)
+        # First read misses; the rest are local.
+        assert cluster.sampler.op_count(op="read") == 1
+        assert read == 5 * 4 * MB  # caller still sees full byte counts
+
+    def test_write_invalidates_cached_range(self):
+        cluster = self.make_cluster(cache_bytes=64 * MB)
+        client = cluster.add_client(JobInfo(job_id=1, user="u", size=1))
+
+        def app():
+            yield from client.create("/fs/data/f")
+            yield from client.write("/fs/data/f", 0, 2 * MB)
+            yield from client.read("/fs/data/f", 0, 2 * MB)   # fill
+            yield from client.read("/fs/data/f", 0, 2 * MB)   # cached
+            yield from client.write("/fs/data/f", 0, 2 * MB)  # invalidate
+            yield from client.read("/fs/data/f", 0, 2 * MB)   # miss again
+
+        cluster.engine.process(app())
+        cluster.run(until=5.0)
+        assert cluster.sampler.op_count(op="read") == 2

@@ -1,0 +1,53 @@
+"""Tests for the I/O request type."""
+
+import pytest
+
+from repro.bb import IORequest, META_COST_BYTES, OpType
+from repro.core import JobInfo
+from repro.errors import InvalidArgument
+
+
+def job(jid=1, size=4):
+    return JobInfo(job_id=jid, user="u", size=size)
+
+
+def test_data_cost_is_size():
+    r = IORequest(op=OpType.WRITE, job=job(), path="/fs/f", size=1000)
+    assert r.cost == 1000.0
+    assert r.op.is_data
+
+
+def test_metadata_cost_is_fixed():
+    r = IORequest(op=OpType.STAT, job=job(), path="/fs/f")
+    assert r.cost == META_COST_BYTES
+    assert not r.op.is_data
+
+
+def test_job_id_comes_from_metadata():
+    r = IORequest(op=OpType.READ, job=job(jid=42), path="/fs/f", size=10)
+    assert r.job_id == 42
+
+
+def test_req_ids_unique():
+    a = IORequest(op=OpType.STAT, job=job(), path="/fs/f")
+    b = IORequest(op=OpType.STAT, job=job(), path="/fs/f")
+    assert a.req_id != b.req_id
+
+
+def test_negative_size_rejected():
+    with pytest.raises(InvalidArgument):
+        IORequest(op=OpType.READ, job=job(), path="/fs/f", size=-1)
+
+
+def test_zero_byte_write_rejected():
+    with pytest.raises(InvalidArgument):
+        IORequest(op=OpType.WRITE, job=job(), path="/fs/f", size=0)
+
+
+def test_payload_length_must_match_size():
+    with pytest.raises(InvalidArgument):
+        IORequest(op=OpType.WRITE, job=job(), path="/fs/f", size=5,
+                  payload=b"abc")
+    r = IORequest(op=OpType.WRITE, job=job(), path="/fs/f", size=3,
+                  payload=b"abc")
+    assert r.payload == b"abc"

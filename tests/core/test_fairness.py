@@ -1,0 +1,137 @@
+"""Tests for λ-delayed fairness: all-gather merge and unfairness metric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (JobInfo, JobStatusTable, Policy, all_gather_merge,
+                        global_share_error, placement_shares,
+                        total_variation)
+
+
+def job(jid, size=1, user="u"):
+    return JobInfo(job_id=jid, user=f"{user}{jid}", size=size)
+
+
+class TestAllGather:
+    def test_fig5_size_fair_convergence(self):
+        """Fig. 5: server 1 sees jobs {1 (16 nodes), 2 (8)}, server 2 sees
+        {1 (16), 3 (8)}. Locally job 1 gets 0.66; after sync every server
+        computes the global 16:8:8 split and job 1 drops to 0.5."""
+        policy = Policy.parse("size-fair")
+        t1, t2 = JobStatusTable(), JobStatusTable()
+        t1.observe(job(1, size=16), now=0.0)
+        t1.observe(job(2, size=8), now=0.0)
+        t2.observe(job(1, size=16), now=0.0)
+        t2.observe(job(3, size=8), now=0.0)
+
+        local1 = policy.shares(t1.active_jobs())
+        assert local1[1] == pytest.approx(2 / 3)
+
+        assert all_gather_merge([t1, t2]) is True
+        for table in (t1, t2):
+            shares = policy.shares(table.active_jobs())
+            assert shares == pytest.approx({1: 0.5, 2: 0.25, 3: 0.25})
+
+    def test_merge_is_order_independent(self):
+        tables = [JobStatusTable() for _ in range(3)]
+        for i, table in enumerate(tables):
+            table.observe(job(i + 1), now=float(i))
+        all_gather_merge(tables)
+        views = [tuple(j.job_id for j in t.active_jobs()) for t in tables]
+        assert views == [(1, 2, 3)] * 3
+
+    def test_second_gather_is_noop(self):
+        tables = [JobStatusTable(), JobStatusTable()]
+        tables[0].observe(job(1), now=0.0)
+        tables[1].observe(job(2), now=0.0)
+        assert all_gather_merge(tables) is True
+        assert all_gather_merge(tables) is False
+
+    def test_single_table_noop(self):
+        t = JobStatusTable()
+        t.observe(job(1), now=0.0)
+        assert all_gather_merge([t]) is False
+
+
+class TestPlacementShares:
+    def test_fig5_token_adjustment(self):
+        """The paper's Fig. 5: job 1 on both servers drops from its local
+        0.66 to 0.5 on each; jobs 2 and 3 rise to 0.5 on their server."""
+        presence = {"s1": {1, 2}, "s2": {1, 3}}
+        global_shares = {1: 0.5, 2: 0.25, 3: 0.25}
+        rows = placement_shares(presence, global_shares)
+        assert rows["s1"] == pytest.approx({1: 0.5, 2: 0.5})
+        assert rows["s2"] == pytest.approx({1: 0.5, 3: 0.5})
+
+    def test_uniform_presence_reduces_to_global_shares(self):
+        presence = {"s1": {1, 2}, "s2": {1, 2}}
+        global_shares = {1: 0.75, 2: 0.25}
+        rows = placement_shares(presence, global_shares)
+        for row in rows.values():
+            assert row == pytest.approx(global_shares)
+
+    def test_single_server(self):
+        rows = placement_shares({"s1": {1, 2}}, {1: 0.6, 2: 0.4})
+        assert rows["s1"] == pytest.approx({1: 0.6, 2: 0.4})
+
+    def test_job_absent_from_server_gets_no_segment(self):
+        rows = placement_shares({"s1": {1}, "s2": {2}},
+                                {1: 0.5, 2: 0.5})
+        assert rows["s1"] == pytest.approx({1: 1.0})
+        assert rows["s2"] == pytest.approx({2: 1.0})
+
+    def test_infeasible_entitlement_degrades_gracefully(self):
+        # Job 1 is entitled to 90% globally but present on only one of
+        # two servers: the best it can get is that whole server.
+        rows = placement_shares({"s1": {1, 2}, "s2": {2}},
+                                {1: 0.9, 2: 0.1})
+        assert rows["s1"][1] > 0.9
+        assert sum(rows["s1"].values()) == pytest.approx(1.0)
+
+    def test_empty_inputs(self):
+        assert placement_shares({}, {1: 1.0}) == {}
+        assert placement_shares({"s1": set()}, {}) == {"s1": {}}
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 4), st.integers(2, 8), st.integers(0, 10_000))
+    def test_property_rows_are_distributions(self, n_servers, n_jobs, seed):
+        import numpy as np
+        rng = np.random.default_rng(seed)
+        presence = {}
+        for s in range(n_servers):
+            hosted = {j for j in range(n_jobs) if rng.random() < 0.6}
+            presence[f"s{s}"] = hosted
+        # Every job must be hosted somewhere.
+        for j in range(n_jobs):
+            presence[f"s{int(rng.integers(n_servers))}"].add(j)
+        weights = rng.random(n_jobs) + 0.05
+        shares = {j: float(w / weights.sum()) for j, w in enumerate(weights)}
+        rows = placement_shares(presence, shares)
+        for server, row in rows.items():
+            assert set(row) <= presence[server]
+            if row:
+                assert sum(row.values()) == pytest.approx(1.0)
+                assert all(v > 0 for v in row.values())
+
+
+class TestMetrics:
+    def test_total_variation_identical(self):
+        assert total_variation({1: 0.5, 2: 0.5}, {1: 0.5, 2: 0.5}) == 0.0
+
+    def test_total_variation_disjoint(self):
+        assert total_variation({1: 1.0}, {2: 1.0}) == pytest.approx(1.0)
+
+    def test_total_variation_partial(self):
+        assert total_variation({1: 0.66, 2: 0.34},
+                               {1: 0.5, 2: 0.25, 3: 0.25}) == pytest.approx(0.25)
+
+    def test_global_share_error_is_worst_server(self):
+        global_shares = {1: 0.5, 2: 0.25, 3: 0.25}
+        locals_ = [{1: 0.5, 2: 0.25, 3: 0.25},  # converged server
+                   {1: 2 / 3, 2: 1 / 3}]        # stale server
+        err = global_share_error(locals_, global_shares)
+        assert err == pytest.approx(total_variation(locals_[1], global_shares))
+
+    def test_global_share_error_empty(self):
+        assert global_share_error([], {1: 1.0}) == 0.0

@@ -1,0 +1,101 @@
+"""Tests for transition matrices and the Eq. 1 chain product."""
+
+import numpy as np
+import pytest
+
+from repro.core import (JobInfo, Level, build_transition_matrices,
+                        chain_product, chain_shares,
+                        validate_transition_matrix)
+from repro.errors import PolicyError
+
+
+def job(jid, user="u0", group="g0", size=1):
+    return JobInfo(job_id=jid, user=user, group=group, size=size)
+
+
+FIG4_JOBS = ([job(i, user="u1") for i in (1, 2)] +
+             [job(i, user="u2") for i in (3, 4, 5, 6)])
+
+
+class TestBuild:
+    def test_fig4_user_then_job_matrices(self):
+        matrices, job_ids = build_transition_matrices(
+            (Level.USER, Level.JOB), FIG4_JOBS)
+        assert len(matrices) == 2
+        user_matrix, job_matrix = matrices
+        # User matrix: 1x2, both users get half.
+        assert user_matrix.shape == (1, 2)
+        np.testing.assert_allclose(user_matrix, [[0.5, 0.5]])
+        # Job matrix: row per user queue; 2 jobs at 1/2, 4 jobs at 1/4.
+        assert job_matrix.shape == (2, 6)
+        np.testing.assert_allclose(job_matrix[0], [0.5, 0.5, 0, 0, 0, 0])
+        np.testing.assert_allclose(job_matrix[1], [0, 0, 0.25, 0.25, 0.25, 0.25])
+        assert job_ids == [1, 2, 3, 4, 5, 6]
+
+    def test_every_matrix_satisfies_structural_constraints(self):
+        jobs = [job(i, user=f"u{i % 3}", group=f"g{i % 2}", size=i + 1)
+                for i in range(9)]
+        matrices, _ = build_transition_matrices(
+            (Level.GROUP, Level.USER, Level.SIZE), jobs)
+        for T in matrices:
+            validate_transition_matrix(T)
+
+    def test_duplicate_job_ids_rejected(self):
+        with pytest.raises(PolicyError):
+            build_transition_matrices((Level.JOB,), [job(1), job(1)])
+
+    def test_empty_jobs(self):
+        matrices, job_ids = build_transition_matrices((Level.JOB,), [])
+        assert matrices == [] and job_ids == []
+
+
+class TestValidate:
+    def test_rejects_bad_row_sum(self):
+        with pytest.raises(PolicyError):
+            validate_transition_matrix(np.array([[0.5, 0.4]]))
+
+    def test_rejects_multiple_nonzero_per_column(self):
+        T = np.array([[0.5, 0.5], [0.5, 0.5]])
+        with pytest.raises(PolicyError):
+            validate_transition_matrix(T)
+
+    def test_rejects_negative(self):
+        with pytest.raises(PolicyError):
+            validate_transition_matrix(np.array([[1.5, -0.5]]))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(PolicyError):
+            validate_transition_matrix(np.ones(3))
+
+    def test_accepts_valid(self):
+        validate_transition_matrix(np.array([[0.25, 0.75, 0.0],
+                                             [0.0, 0.0, 1.0]]))
+        validate_transition_matrix(np.array([[1.0, 0.0], [0.0, 1.0]]))
+
+
+class TestChain:
+    def test_fig3b_product(self):
+        matrices, job_ids = build_transition_matrices(
+            (Level.USER, Level.JOB), FIG4_JOBS)
+        shares = chain_product(matrices)
+        np.testing.assert_allclose(
+            shares, [[0.25, 0.25, 0.125, 0.125, 0.125, 0.125]])
+
+    def test_chain_shares_matches_product(self):
+        shares = chain_shares((Level.USER, Level.JOB), FIG4_JOBS)
+        assert shares == pytest.approx(
+            {1: 0.25, 2: 0.25, 3: 0.125, 4: 0.125, 5: 0.125, 6: 0.125})
+
+    def test_empty_chain(self):
+        out = chain_product([])
+        assert out.shape == (1, 0)
+
+    def test_single_level_size(self):
+        shares = chain_shares((Level.SIZE,), [job(1, size=3), job(2, size=1)])
+        assert shares == pytest.approx({1: 0.75, 2: 0.25})
+
+    def test_deep_chain_shares_sum_to_one(self):
+        jobs = [job(i, user=f"u{i % 4}", group=f"g{i % 2}", size=(i % 5) + 1)
+                for i in range(20)]
+        shares = chain_shares((Level.GROUP, Level.USER, Level.SIZE), jobs)
+        assert sum(shares.values()) == pytest.approx(1.0)

@@ -1,0 +1,117 @@
+"""Tests for the statistical token assignment (segments of [0, 1])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TokenAssignment
+from repro.errors import SchedulerError
+
+
+class TestConstruction:
+    def test_shares_normalised(self):
+        a = TokenAssignment({1: 2.0, 2: 2.0})
+        assert a.share(1) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulerError):
+            TokenAssignment({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchedulerError):
+            TokenAssignment({1: -0.1, 2: 1.1})
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(SchedulerError):
+            TokenAssignment({1: 0.0})
+
+    def test_contains_and_len(self):
+        a = TokenAssignment({1: 0.5, 2: 0.5})
+        assert 1 in a and 3 not in a
+        assert len(a) == 2
+
+
+class TestSegments:
+    def test_segments_partition_unit_interval(self):
+        a = TokenAssignment({1: 0.66, 2: 0.33})
+        lo1, hi1 = a.segment(1)
+        lo2, hi2 = a.segment(2)
+        assert lo1 == 0.0
+        assert hi1 == pytest.approx(lo2)
+        assert hi2 == 1.0
+
+    def test_fig3a_job_fair_two_jobs(self):
+        a = TokenAssignment({1: 1.0, 2: 1.0})
+        assert a.segment(1) == (0.0, pytest.approx(0.5))
+        assert a.segment(2) == (pytest.approx(0.5), 1.0)
+
+    def test_unknown_job_raises(self):
+        a = TokenAssignment({1: 1.0})
+        with pytest.raises(SchedulerError):
+            a.segment(2)
+
+
+class TestDraws:
+    def test_draw_maps_u_to_segment(self):
+        a = TokenAssignment({1: 0.5, 2: 0.5})
+        assert a.draw(0.0) == 1
+        assert a.draw(0.49) == 1
+        assert a.draw(0.5) == 2
+        assert a.draw(0.99) == 2
+
+    def test_draw_out_of_range_rejected(self):
+        a = TokenAssignment({1: 1.0})
+        with pytest.raises(SchedulerError):
+            a.draw(1.0)
+        with pytest.raises(SchedulerError):
+            a.draw(-0.01)
+
+    def test_draw_frequency_approximates_shares(self):
+        a = TokenAssignment({1: 3.0, 2: 1.0})
+        rng = np.random.default_rng(0)
+        hits = sum(a.draw(float(u)) == 1 for u in rng.random(20000))
+        assert 0.73 < hits / 20000 < 0.77
+
+
+class TestRestrict:
+    def test_restrict_renormalises(self):
+        a = TokenAssignment({1: 0.5, 2: 0.25, 3: 0.25})
+        r = a.restrict([2, 3])
+        assert r.share(2) == pytest.approx(0.5)
+        assert r.share(3) == pytest.approx(0.5)
+
+    def test_restrict_preserves_proportions(self):
+        a = TokenAssignment({1: 0.6, 2: 0.3, 3: 0.1})
+        r = a.restrict([2, 3])
+        assert r.share(2) / r.share(3) == pytest.approx(3.0)
+
+    def test_restrict_ignores_unknown_jobs(self):
+        a = TokenAssignment({1: 1.0})
+        r = a.restrict([1, 99])
+        assert len(r) == 1
+
+    def test_restrict_to_nothing_returns_none(self):
+        a = TokenAssignment({1: 1.0})
+        assert a.restrict([99]) is None
+        assert a.restrict([]) is None
+
+
+@settings(max_examples=60)
+@given(st.dictionaries(st.integers(0, 50),
+                       st.floats(0.01, 100.0),
+                       min_size=1, max_size=12),
+       st.floats(0.0, 0.999999))
+def test_property_draw_consistent_with_segments(shares, u):
+    """draw(u) always returns the job whose [lo, hi) segment contains u,
+    and segments tile [0, 1] without gaps or overlaps."""
+    a = TokenAssignment(shares)
+    chosen = a.draw(u)
+    lo, hi = a.segment(chosen)
+    assert lo <= u < hi or (u >= hi == 1.0)
+    # Segments tile the interval in job-id order.
+    edges = [a.segment(j) for j in a.job_ids]
+    assert edges[0][0] == 0.0
+    assert edges[-1][1] == 1.0
+    for (a_lo, a_hi), (b_lo, b_hi) in zip(edges, edges[1:]):
+        assert a_hi == pytest.approx(b_lo)

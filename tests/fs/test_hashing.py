@@ -1,0 +1,109 @@
+"""Tests for the consistent-hash ring: determinism, balance, minimal remap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FSError
+from repro.fs import ConsistentHashRing
+
+
+def keys(n):
+    return [f"/fs/dir/file-{i}.dat" for i in range(n)]
+
+
+class TestBasics:
+    def test_lookup_deterministic(self):
+        r1 = ConsistentHashRing(["s0", "s1", "s2"])
+        r2 = ConsistentHashRing(["s0", "s1", "s2"])
+        for k in keys(50):
+            assert r1.lookup(k) == r2.lookup(k)
+
+    def test_lookup_returns_member(self):
+        ring = ConsistentHashRing(["a", "b"])
+        for k in keys(20):
+            assert ring.lookup(k) in {"a", "b"}
+
+    def test_lookup_n_distinct(self):
+        ring = ConsistentHashRing([f"s{i}" for i in range(5)])
+        for k in keys(20):
+            got = ring.lookup_n(k, 3)
+            assert len(got) == 3
+            assert len(set(got)) == 3
+
+    def test_lookup_n_caps_at_server_count(self):
+        ring = ConsistentHashRing(["a", "b"])
+        assert len(ring.lookup_n("/fs/x", 5)) == 2
+
+    def test_lookup_n_first_equals_lookup(self):
+        ring = ConsistentHashRing([f"s{i}" for i in range(4)])
+        for k in keys(20):
+            assert ring.lookup_n(k, 3)[0] == ring.lookup(k)
+
+    def test_empty_ring_rejected(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(FSError):
+            ring.lookup("x")
+
+    def test_duplicate_server_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(FSError):
+            ring.add_server("a")
+
+    def test_remove_unknown_rejected(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(FSError):
+            ring.remove_server("zz")
+
+    def test_invalid_params(self):
+        with pytest.raises(FSError):
+            ConsistentHashRing(["a"], vnodes=0)
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(FSError):
+            ring.lookup_n("k", 0)
+
+
+class TestDistribution:
+    def test_roughly_balanced(self):
+        servers = [f"s{i}" for i in range(8)]
+        ring = ConsistentHashRing(servers, vnodes=128)
+        counts = {s: 0 for s in servers}
+        for k in keys(4000):
+            counts[ring.lookup(k)] += 1
+        expected = 4000 / 8
+        for s, c in counts.items():
+            assert 0.5 * expected < c < 1.7 * expected, (s, c)
+
+    def test_minimal_remapping_on_add(self):
+        servers = [f"s{i}" for i in range(7)]
+        before = ConsistentHashRing(servers, vnodes=128)
+        after = ConsistentHashRing(servers, vnodes=128)
+        after.add_server("s-new")
+        ks = keys(2000)
+        moved = sum(before.lookup(k) != after.lookup(k) for k in ks)
+        # Consistent hashing moves ~1/(n+1) of keys; allow generous slack.
+        assert moved < 2000 * 0.30
+        # Every moved key must now be on the new server.
+        for k in ks:
+            if before.lookup(k) != after.lookup(k):
+                assert after.lookup(k) == "s-new"
+
+    def test_remove_only_remaps_removed_keys(self):
+        servers = [f"s{i}" for i in range(5)]
+        before = ConsistentHashRing(servers, vnodes=64)
+        after = ConsistentHashRing(servers, vnodes=64)
+        after.remove_server("s2")
+        for k in keys(1000):
+            if before.lookup(k) != "s2":
+                assert after.lookup(k) == before.lookup(k)
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=1, max_value=6),
+       st.text(min_size=1, max_size=30))
+def test_property_lookup_stable_and_member(n_servers, key):
+    servers = [f"srv{i}" for i in range(n_servers)]
+    ring = ConsistentHashRing(servers)
+    owner = ring.lookup(key)
+    assert owner in servers
+    assert ring.lookup(key) == owner

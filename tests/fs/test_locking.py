@@ -1,0 +1,81 @@
+"""Tests for §4.3 concurrency rules: range write locks + metadata mutexes."""
+
+import pytest
+
+from repro.errors import FSError
+from repro.fs import MetadataLockTable, RangeLockTable
+
+
+class TestRangeLocks:
+    def test_disjoint_writes_proceed(self):
+        t = RangeLockTable()
+        assert t.try_lock_write(1, 0, 100, "w1")
+        assert t.try_lock_write(1, 100, 100, "w2")
+
+    def test_overlapping_writes_conflict(self):
+        t = RangeLockTable()
+        assert t.try_lock_write(1, 0, 100, "w1")
+        assert not t.try_lock_write(1, 50, 100, "w2")
+
+    def test_different_files_never_conflict(self):
+        t = RangeLockTable()
+        assert t.try_lock_write(1, 0, 100, "w1")
+        assert t.try_lock_write(2, 0, 100, "w2")
+
+    def test_unlock_releases_ranges(self):
+        t = RangeLockTable()
+        t.try_lock_write(1, 0, 100, "w1")
+        assert t.unlock_write(1, "w1") == 1
+        assert t.try_lock_write(1, 0, 100, "w2")
+
+    def test_unlock_only_owner_ranges(self):
+        t = RangeLockTable()
+        t.try_lock_write(1, 0, 10, "w1")
+        t.try_lock_write(1, 10, 10, "w2")
+        assert t.unlock_write(1, "w1") == 1
+        assert t.write_locks_held(1) == 1
+
+    def test_unlock_without_locks_is_zero(self):
+        t = RangeLockTable()
+        assert t.unlock_write(5, "x") == 0
+
+    def test_adjacent_ranges_do_not_conflict(self):
+        t = RangeLockTable()
+        assert t.try_lock_write(1, 0, 10, "a")
+        assert t.try_lock_write(1, 10, 10, "b")
+
+    def test_invalid_range_rejected(self):
+        t = RangeLockTable()
+        with pytest.raises(FSError):
+            t.try_lock_write(1, -1, 10, "a")
+
+
+class TestMetadataLocks:
+    def test_exclusive(self):
+        t = MetadataLockTable()
+        assert t.try_lock(1, "a")
+        assert not t.try_lock(1, "b")
+
+    def test_reentrant_for_same_owner(self):
+        t = MetadataLockTable()
+        assert t.try_lock(1, "a")
+        assert t.try_lock(1, "a")
+
+    def test_unlock(self):
+        t = MetadataLockTable()
+        t.try_lock(1, "a")
+        t.unlock(1, "a")
+        assert not t.locked(1)
+        assert t.try_lock(1, "b")
+
+    def test_unlock_wrong_owner_raises(self):
+        t = MetadataLockTable()
+        t.try_lock(1, "a")
+        with pytest.raises(FSError):
+            t.unlock(1, "b")
+
+    def test_holders(self):
+        t = MetadataLockTable()
+        t.try_lock(1, "a")
+        t.try_lock(2, "b")
+        assert t.holders() == {1, 2}

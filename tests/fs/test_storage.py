@@ -1,0 +1,132 @@
+"""Tests for the NVMe extent allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FSError, InvalidArgument, NoSpace
+from repro.fs import NVMeRegion
+
+
+class TestAlloc:
+    def test_alloc_within_capacity(self):
+        region = NVMeRegion(1000)
+        e = region.alloc(100)
+        assert e.length == 100
+        assert 0 <= e.offset and e.end <= 1000
+
+    def test_accounting(self):
+        region = NVMeRegion(1000)
+        region.alloc(300)
+        region.alloc(200)
+        assert region.used_bytes == 500
+        assert region.free_bytes == 500
+        assert region.extent_count == 2
+
+    def test_allocations_never_overlap(self):
+        region = NVMeRegion(1000)
+        extents = [region.alloc(90) for _ in range(10)]
+        for i, a in enumerate(extents):
+            for b in extents[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_exhaustion_raises_nospace(self):
+        region = NVMeRegion(100)
+        region.alloc(100)
+        with pytest.raises(NoSpace):
+            region.alloc(1)
+
+    def test_free_enables_reuse(self):
+        region = NVMeRegion(100)
+        e = region.alloc(100)
+        region.free(e)
+        e2 = region.alloc(100)
+        assert e2.offset == 0
+
+    def test_coalescing_allows_large_realloc(self):
+        region = NVMeRegion(300)
+        a = region.alloc(100)
+        b = region.alloc(100)
+        c = region.alloc(100)
+        region.free(a)
+        region.free(c)
+        region.free(b)  # middle last: must coalesce into one 300-byte range
+        assert region.alloc(300).length == 300
+
+    def test_double_free_rejected(self):
+        region = NVMeRegion(100)
+        e = region.alloc(10)
+        region.free(e)
+        with pytest.raises(FSError):
+            region.free(e)
+
+    def test_zero_alloc_rejected(self):
+        region = NVMeRegion(100)
+        with pytest.raises(InvalidArgument):
+            region.alloc(0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(FSError):
+            NVMeRegion(0)
+
+
+class TestIO:
+    def test_write_read_roundtrip(self):
+        region = NVMeRegion(1000)
+        e = region.alloc(100)
+        region.write(e, 10, b"hello")
+        assert region.read(e, 10, 5) == b"hello"
+
+    def test_unwritten_reads_zero(self):
+        region = NVMeRegion(1000)
+        e = region.alloc(10)
+        assert region.read(e, 0, 10) == b"\x00" * 10
+
+    def test_out_of_extent_io_rejected(self):
+        region = NVMeRegion(1000)
+        e = region.alloc(10)
+        with pytest.raises(InvalidArgument):
+            region.write(e, 8, b"xyz")
+        with pytest.raises(InvalidArgument):
+            region.read(e, -1, 2)
+
+    def test_io_on_freed_extent_rejected(self):
+        region = NVMeRegion(100)
+        e = region.alloc(10)
+        region.free(e)
+        with pytest.raises(FSError):
+            region.write(e, 0, b"x")
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.booleans(), st.integers(min_value=1, max_value=64)),
+                min_size=1, max_size=60))
+def test_property_alloc_free_invariants(ops):
+    """Random alloc/free interleavings keep extents disjoint and accounting exact."""
+    region = NVMeRegion(2048)
+    live = []
+    for is_alloc, size in ops:
+        if is_alloc:
+            try:
+                live.append(region.alloc(size))
+            except NoSpace:
+                pass
+        elif live:
+            region.free(live.pop(0))
+        # Invariants after every step:
+        extents = region.extents()
+        for i, a in enumerate(extents):
+            for b in extents[i + 1:]:
+                assert not a.overlaps(b)
+        assert region.used_bytes == sum(e.length for e in live)
+        assert region.used_bytes + region.free_bytes == 2048
+
+
+@settings(max_examples=30)
+@given(st.binary(min_size=1, max_size=100),
+       st.integers(min_value=0, max_value=50))
+def test_property_write_read_roundtrip(data, offset):
+    region = NVMeRegion(4096)
+    e = region.alloc(offset + len(data))
+    region.write(e, offset, data)
+    assert region.read(e, offset, len(data)) == data

@@ -1,0 +1,85 @@
+"""Tests for share timelines and convergence detection."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import ShareTimeline, ThroughputSampler, convergence_interval
+
+
+def make_sampler(records):
+    s = ThroughputSampler()
+    for t, job, nbytes in records:
+        s.record(t, job, nbytes, "write")
+    return s
+
+
+class TestShareTimeline:
+    def test_shares_per_interval(self):
+        s = make_sampler([(0.1, 1, 66), (0.2, 2, 34),
+                          (1.1, 1, 50), (1.2, 2, 50)])
+        tl = ShareTimeline(s, interval=1.0, start=0.0, end=2.0)
+        assert tl.shares_at(0) == pytest.approx({1: 0.66, 2: 0.34})
+        assert tl.shares_at(1) == pytest.approx({1: 0.5, 2: 0.5})
+
+    def test_empty_interval_is_zero(self):
+        s = make_sampler([(0.1, 1, 10)])
+        tl = ShareTimeline(s, interval=1.0, start=0.0, end=3.0)
+        assert tl.shares_at(2) == {1: 0.0}
+
+    def test_share_series(self):
+        s = make_sampler([(0.5, 1, 30), (0.5, 2, 10),
+                          (1.5, 1, 10), (1.5, 2, 30)])
+        tl = ShareTimeline(s, interval=1.0, start=0.0, end=2.0)
+        series = tl.share_series(1)
+        assert series[0] == pytest.approx(0.75)
+        assert series[1] == pytest.approx(0.25)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigError):
+            ShareTimeline(make_sampler([]), interval=0.0)
+
+    def test_empty_sampler(self):
+        tl = ShareTimeline(make_sampler([]), interval=1.0)
+        assert tl.n_intervals == 0
+
+
+class TestConvergence:
+    def fair(self):
+        return {1: 0.5, 2: 0.5}
+
+    def test_converges_at_expected_interval(self):
+        # Interval 0 unfair, intervals 1-2 fair.
+        s = make_sampler([(0.1, 1, 90), (0.1, 2, 10),
+                          (1.1, 1, 50), (1.1, 2, 50),
+                          (2.1, 1, 52), (2.1, 2, 48)])
+        tl = ShareTimeline(s, interval=1.0, start=0.0, end=3.0)
+        assert convergence_interval(tl, self.fair(), tolerance=0.1,
+                                    sustain=2) == 1
+
+    def test_never_converges(self):
+        s = make_sampler([(t + 0.1, 1, 90) for t in range(3)] +
+                         [(t + 0.1, 2, 10) for t in range(3)])
+        tl = ShareTimeline(s, interval=1.0, start=0.0, end=3.0)
+        assert convergence_interval(tl, self.fair(), tolerance=0.1) is None
+
+    def test_sustain_requires_consecutive_intervals(self):
+        # Fair at interval 1, unfair at 2, fair at 3-4.
+        s = make_sampler([(0.1, 1, 90), (0.1, 2, 10),
+                          (1.1, 1, 50), (1.1, 2, 50),
+                          (2.1, 1, 90), (2.1, 2, 10),
+                          (3.1, 1, 50), (3.1, 2, 50),
+                          (4.1, 1, 50), (4.1, 2, 50)])
+        tl = ShareTimeline(s, interval=1.0, start=0.0, end=5.0)
+        assert convergence_interval(tl, self.fair(), tolerance=0.1,
+                                    sustain=2) == 3
+
+    def test_invalid_sustain(self):
+        tl = ShareTimeline(make_sampler([]), interval=1.0)
+        with pytest.raises(ConfigError):
+            convergence_interval(tl, self.fair(), sustain=0)
+
+    def test_empty_intervals_do_not_count_as_fair(self):
+        s = make_sampler([(3.1, 1, 50), (3.1, 2, 50),
+                          (4.1, 1, 50), (4.1, 2, 50)])
+        tl = ShareTimeline(s, interval=1.0, start=0.0, end=5.0)
+        assert convergence_interval(tl, self.fair(), sustain=2) == 3

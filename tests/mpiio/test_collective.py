@@ -1,0 +1,170 @@
+"""Tests for two-phase collective I/O over the burst buffer."""
+
+import pytest
+
+from repro.bb import Cluster, ClusterConfig
+from repro.core import JobInfo
+from repro.errors import ConfigError
+from repro.mpiio import Communicator, MPIFile, VectorView
+from repro.units import KiB, MB
+
+
+def make_comm(n_ranks=4, n_servers=1):
+    cluster = Cluster(ClusterConfig(n_servers=n_servers, policy="job-fair"))
+    cluster.fs.makedirs("/fs/mpi")
+    job = JobInfo(job_id=1, user="mpi", size=n_ranks)
+    clients = [cluster.add_client(job, client_id=f"rank{r}")
+               for r in range(n_ranks)]
+    return cluster, Communicator(clients)
+
+
+def drive(cluster, generators, until=10.0):
+    results = {}
+
+    def wrap(idx, gen):
+        results[idx] = yield from gen
+
+    for idx, gen in enumerate(generators):
+        cluster.engine.process(wrap(idx, gen))
+    cluster.run(until=cluster.engine.now + until)
+    return results
+
+
+class TestCommunicator:
+    def test_size_and_rank_lookup(self):
+        _, comm = make_comm(3)
+        assert comm.size == 3
+        assert comm.client(2).client_id == "rank2"
+        with pytest.raises(ConfigError):
+            comm.client(3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            Communicator([])
+
+
+class TestCollectiveWrite:
+    def test_all_ranks_complete_with_their_byte_counts(self):
+        cluster, comm = make_comm(4)
+        mpifile = MPIFile(comm, "/fs/mpi/data", cb_nodes=2)
+        view = VectorView(nranks=4, blocklen=256 * KiB)
+
+        def rank_proc(rank):
+            yield from mpifile.open()
+            return (yield from mpifile.write_at_all(
+                rank, view.pieces(rank, count=4)))
+
+        results = drive(cluster, [rank_proc(r) for r in range(4)])
+        assert all(results[r] == 4 * 256 * KiB for r in range(4))
+        # The interleaved ranks tile the file: size = 16 blocks.
+        assert cluster.fs.stat("/fs/mpi/data").size == 16 * 256 * KiB
+
+    def test_aggregators_issue_few_large_requests(self):
+        cluster, comm = make_comm(4)
+        mpifile = MPIFile(comm, "/fs/mpi/data", cb_nodes=1)
+        view = VectorView(nranks=4, blocklen=64 * KiB)
+
+        def rank_proc(rank):
+            yield from mpifile.open()
+            yield from mpifile.write_at_all(rank, view.pieces(rank, count=8))
+
+        drive(cluster, [rank_proc(r) for r in range(4)])
+        # 32 strided pieces coalesced into ONE contiguous server write.
+        assert cluster.sampler.op_count(op="write") == 1
+        assert mpifile.collective_rounds == 1
+
+    def test_shuffle_moves_non_aggregator_bytes(self):
+        cluster, comm = make_comm(4)
+        mpifile = MPIFile(comm, "/fs/mpi/data", cb_nodes=1)
+        view = VectorView(nranks=4, blocklen=64 * KiB)
+
+        def rank_proc(rank):
+            yield from mpifile.open()
+            yield from mpifile.write_at_all(rank, view.pieces(rank, count=2))
+
+        drive(cluster, [rank_proc(r) for r in range(4)])
+        # Three of four ranks' bytes crossed to the single aggregator.
+        assert mpifile.shuffled_bytes == 3 * 2 * 64 * KiB
+
+    def test_multiple_collective_rounds(self):
+        cluster, comm = make_comm(2)
+        mpifile = MPIFile(comm, "/fs/mpi/data", cb_nodes=1)
+        view = VectorView(nranks=2, blocklen=128 * KiB)
+
+        def rank_proc(rank):
+            yield from mpifile.open()
+            total = 0
+            for _ in range(3):
+                total += yield from mpifile.write_at_all(
+                    rank, view.pieces(rank, count=1))
+            return total
+
+        results = drive(cluster, [rank_proc(r) for r in range(2)])
+        assert results[0] == 3 * 128 * KiB
+        assert mpifile.collective_rounds == 3
+
+    def test_double_entry_in_one_round_rejected(self):
+        cluster, comm = make_comm(2)
+        mpifile = MPIFile(comm, "/fs/mpi/data")
+        caught = []
+
+        def bad(rank):
+            yield from mpifile.open()
+            ev1 = mpifile._collective("write", rank, [(0, 10)])
+            next(ev1)  # enter once (don't wait)
+            try:
+                yield from mpifile.write_at_all(rank, [(10, 10)])
+            except ConfigError:
+                caught.append(rank)
+
+        cluster.engine.process(bad(0))
+        cluster.run(until=1.0)
+        assert caught == [0]
+
+
+class TestCollectiveRead:
+    def test_read_back_after_collective_write(self):
+        cluster, comm = make_comm(4)
+        mpifile = MPIFile(comm, "/fs/mpi/data", cb_nodes=2)
+        view = VectorView(nranks=4, blocklen=256 * KiB)
+
+        def writer(rank):
+            yield from mpifile.open()
+            yield from mpifile.write_at_all(rank, view.pieces(rank, count=2))
+
+        drive(cluster, [writer(r) for r in range(4)])
+
+        def reader(rank):
+            return (yield from mpifile.read_at_all(
+                rank, view.pieces(rank, count=2)))
+
+        results = drive(cluster, [reader(r) for r in range(4)])
+        assert all(results[r] == 2 * 256 * KiB for r in range(4))
+
+
+class TestIndependentVsCollective:
+    def test_collective_reduces_request_count(self):
+        view = VectorView(nranks=4, blocklen=64 * KiB)
+
+        cluster_i, comm_i = make_comm(4)
+        f_independent = MPIFile(comm_i, "/fs/mpi/ind")
+
+        def independent(rank):
+            yield from f_independent.open()
+            yield from f_independent.write_at(rank, view.pieces(rank, count=8))
+
+        drive(cluster_i, [independent(r) for r in range(4)])
+        independent_reqs = cluster_i.sampler.op_count(op="write")
+
+        cluster_c, comm_c = make_comm(4)
+        f_collective = MPIFile(comm_c, "/fs/mpi/coll", cb_nodes=2)
+
+        def collective(rank):
+            yield from f_collective.open()
+            yield from f_collective.write_at_all(rank, view.pieces(rank, count=8))
+
+        drive(cluster_c, [collective(r) for r in range(4)])
+        collective_reqs = cluster_c.sampler.op_count(op="write")
+
+        assert independent_reqs == 32
+        assert collective_reqs <= 4  # cb_nodes large contiguous writes

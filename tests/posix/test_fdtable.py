@@ -1,0 +1,77 @@
+"""Tests for fd allocation and directory streams."""
+
+import pytest
+
+from repro.errors import BadFileDescriptor
+from repro.posix import FDTable
+
+
+class TestFds:
+    def test_lowest_free_fd_starts_at_three(self):
+        table = FDTable()
+        assert table.allocate("/fs/a", 0).fd == 3
+        assert table.allocate("/fs/b", 0).fd == 4
+
+    def test_closed_fd_is_reused(self):
+        table = FDTable()
+        table.allocate("/fs/a", 0)
+        b = table.allocate("/fs/b", 0)
+        table.close(b.fd)
+        assert table.allocate("/fs/c", 0).fd == b.fd
+
+    def test_get_unknown_fd_raises(self):
+        table = FDTable()
+        with pytest.raises(BadFileDescriptor):
+            table.get(3)
+
+    def test_double_close_raises(self):
+        table = FDTable()
+        f = table.allocate("/fs/a", 0)
+        table.close(f.fd)
+        with pytest.raises(BadFileDescriptor):
+            table.close(f.fd)
+
+    def test_open_count_and_fds(self):
+        table = FDTable()
+        table.allocate("/fs/a", 0)
+        table.allocate("/fs/b", 0)
+        assert table.open_count == 2
+        assert table.open_fds() == [3, 4]
+
+    def test_offsets_are_independent(self):
+        table = FDTable()
+        a = table.allocate("/fs/same", 0)
+        b = table.allocate("/fs/same", 0)
+        a.offset = 100
+        assert b.offset == 0
+
+
+class TestDirStreams:
+    def test_readdir_iterates_then_none(self):
+        table = FDTable()
+        d = table.open_dir("/fs", ["a", "b"])
+        assert d.next_entry() == "a"
+        assert d.next_entry() == "b"
+        assert d.next_entry() is None
+        assert d.next_entry() is None
+
+    def test_rewind(self):
+        table = FDTable()
+        d = table.open_dir("/fs", ["a"])
+        d.next_entry()
+        d.rewind()
+        assert d.next_entry() == "a"
+
+    def test_snapshot_isolated_from_caller(self):
+        table = FDTable()
+        entries = ["a"]
+        d = table.open_dir("/fs", entries)
+        entries.append("b")
+        assert d.entries == ["a"]
+
+    def test_close_dir(self):
+        table = FDTable()
+        d = table.open_dir("/fs", [])
+        table.close_dir(d.handle)
+        with pytest.raises(BadFileDescriptor):
+            table.get_dir(d.handle)

@@ -1,0 +1,98 @@
+"""Tests for the interception registry (override/trampoline dispatch)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.posix import InterceptionMode, InterposeRegistry
+
+
+def make():
+    calls = {"replacement": 0, "original": 0}
+
+    def replacement(x):
+        calls["replacement"] += 1
+        return ("themis", x)
+
+    def original(x):
+        calls["original"] += 1
+        return ("glibc", x)
+
+    return calls, replacement, original
+
+
+@pytest.mark.parametrize("mode", list(InterceptionMode))
+def test_installed_function_routes_to_replacement(mode):
+    calls, repl, orig = make()
+    reg = InterposeRegistry(mode)
+    reg.install("open", repl, orig)
+    assert reg.call("open", 1) == ("themis", 1)
+    assert calls == {"replacement": 1, "original": 0}
+
+
+def test_call_original_bypasses_replacement():
+    calls, repl, orig = make()
+    reg = InterposeRegistry()
+    reg.install("open", repl, orig)
+    assert reg.call_original("open", 2) == ("glibc", 2)
+    assert calls == {"replacement": 0, "original": 1}
+
+
+def test_replacement_may_fall_back_to_original():
+    reg = InterposeRegistry(InterceptionMode.TRAMPOLINE)
+
+    def orig(path):
+        return ("real", path)
+
+    def repl(path):
+        if path.startswith("/fs/"):
+            return ("themis", path)
+        return reg.call_original("open", path)
+
+    reg.install("open", repl, orig)
+    assert reg.call("open", "/fs/x") == ("themis", "/fs/x")
+    assert reg.call("open", "/home/x") == ("real", "/home/x")
+
+
+def test_duplicate_install_rejected():
+    _, repl, orig = make()
+    reg = InterposeRegistry()
+    reg.install("read", repl, orig)
+    with pytest.raises(ReproError):
+        reg.install("read", repl, orig)
+
+
+def test_unhooked_call_rejected():
+    reg = InterposeRegistry()
+    with pytest.raises(ReproError):
+        reg.call("write", 1)
+    with pytest.raises(ReproError):
+        reg.call_original("write", 1)
+
+
+def test_uninstall():
+    _, repl, orig = make()
+    reg = InterposeRegistry()
+    reg.install("close", repl, orig)
+    reg.uninstall("close")
+    assert not reg.is_intercepted("close")
+    with pytest.raises(ReproError):
+        reg.uninstall("close")
+
+
+def test_stats_track_both_paths():
+    _, repl, orig = make()
+    reg = InterposeRegistry()
+    reg.install("lseek", repl, orig)
+    reg.call("lseek", 0)
+    reg.call("lseek", 0)
+    reg.call_original("lseek", 0)
+    stats = reg.stats("lseek")
+    assert (stats.intercepted, stats.passed_through) == (2, 1)
+
+
+def test_intercepted_functions_sorted():
+    _, repl, orig = make()
+    reg = InterposeRegistry()
+    reg.install("write", repl, orig)
+    reg.install("open", repl, orig)
+    assert reg.intercepted_functions() == ["open", "write"]

@@ -1,0 +1,180 @@
+"""Tests for the POSIX shim over the ThemisIO file system."""
+
+import pytest
+
+from repro.errors import (BadFileDescriptor, FileNotFound, InvalidArgument,
+                          IsADirectory, PermissionDenied)
+from repro.fs import ThemisFS
+from repro.posix import (O_APPEND, O_CREAT, O_RDONLY, O_RDWR, O_TRUNC,
+                         O_WRONLY, SEEK_CUR, SEEK_END, SEEK_SET,
+                         InterposeRegistry, PosixShim, install_interception)
+
+
+@pytest.fixture
+def shim():
+    fs = ThemisFS(["bb0", "bb1"], capacity_per_server=1 << 22, stripe_size=64)
+    fs.makedirs("/fs/data")
+    return PosixShim(fs)
+
+
+class TestOpenClose:
+    def test_open_creates_with_o_creat(self, shim):
+        fd = shim.open("/fs/data/new", O_WRONLY | O_CREAT)
+        assert fd >= 3
+        assert shim.stat("/fs/data/new").size == 0
+
+    def test_open_missing_without_creat_raises(self, shim):
+        with pytest.raises(FileNotFound):
+            shim.open("/fs/data/ghost", O_RDONLY)
+
+    def test_open_trunc_zeroes_file(self, shim):
+        fd = shim.open("/fs/data/f", O_WRONLY | O_CREAT)
+        shim.write(fd, b"old contents")
+        shim.close(fd)
+        fd = shim.open("/fs/data/f", O_WRONLY | O_TRUNC)
+        assert shim.stat("/fs/data/f").size == 0
+        shim.close(fd)
+
+    def test_open_directory_for_write_rejected(self, shim):
+        with pytest.raises(IsADirectory):
+            shim.open("/fs/data", O_WRONLY)
+
+    def test_close_invalid_fd(self, shim):
+        with pytest.raises(BadFileDescriptor):
+            shim.close(99)
+
+
+class TestReadWrite:
+    def test_sequential_write_then_read(self, shim):
+        fd = shim.open("/fs/data/f", O_RDWR | O_CREAT)
+        assert shim.write(fd, b"hello ") == 6
+        assert shim.write(fd, b"world") == 5
+        shim.lseek(fd, 0, SEEK_SET)
+        assert shim.read(fd, 100) == b"hello world"
+        shim.close(fd)
+
+    def test_offset_advances_with_reads(self, shim):
+        fd = shim.open("/fs/data/f", O_RDWR | O_CREAT)
+        shim.write(fd, b"abcdef")
+        shim.lseek(fd, 0, SEEK_SET)
+        assert shim.read(fd, 2) == b"ab"
+        assert shim.read(fd, 2) == b"cd"
+
+    def test_append_mode_writes_at_eof(self, shim):
+        fd = shim.open("/fs/data/log", O_WRONLY | O_CREAT)
+        shim.write(fd, b"line1\n")
+        shim.close(fd)
+        fd = shim.open("/fs/data/log", O_WRONLY | O_APPEND)
+        shim.lseek(fd, 0, SEEK_SET)  # append must ignore the seek
+        shim.write(fd, b"line2\n")
+        shim.close(fd)
+        fd = shim.open("/fs/data/log", O_RDONLY)
+        assert shim.read(fd, 100) == b"line1\nline2\n"
+
+    def test_read_from_wronly_fd_rejected(self, shim):
+        fd = shim.open("/fs/data/f", O_WRONLY | O_CREAT)
+        with pytest.raises(BadFileDescriptor):
+            shim.read(fd, 1)
+
+    def test_write_to_rdonly_fd_rejected(self, shim):
+        shim.open("/fs/data/f", O_WRONLY | O_CREAT)
+        fd = shim.open("/fs/data/f", O_RDONLY)
+        with pytest.raises(BadFileDescriptor):
+            shim.write(fd, b"x")
+
+    def test_negative_read_size_rejected(self, shim):
+        fd = shim.open("/fs/data/f", O_RDWR | O_CREAT)
+        with pytest.raises(InvalidArgument):
+            shim.read(fd, -1)
+
+
+class TestLseek:
+    def test_seek_set_cur_end(self, shim):
+        fd = shim.open("/fs/data/f", O_RDWR | O_CREAT)
+        shim.write(fd, b"0123456789")
+        assert shim.lseek(fd, 2, SEEK_SET) == 2
+        assert shim.lseek(fd, 3, SEEK_CUR) == 5
+        assert shim.lseek(fd, -1, SEEK_END) == 9
+        assert shim.read(fd, 1) == b"9"
+
+    def test_seek_before_start_rejected(self, shim):
+        fd = shim.open("/fs/data/f", O_RDWR | O_CREAT)
+        with pytest.raises(InvalidArgument):
+            shim.lseek(fd, -1, SEEK_SET)
+
+    def test_bad_whence_rejected(self, shim):
+        fd = shim.open("/fs/data/f", O_RDWR | O_CREAT)
+        with pytest.raises(InvalidArgument):
+            shim.lseek(fd, 0, 99)
+
+    def test_seek_past_eof_then_write_leaves_hole(self, shim):
+        fd = shim.open("/fs/data/f", O_RDWR | O_CREAT)
+        shim.lseek(fd, 5, SEEK_SET)
+        shim.write(fd, b"Z")
+        shim.lseek(fd, 0, SEEK_SET)
+        assert shim.read(fd, 6) == b"\x00" * 5 + b"Z"
+
+
+class TestDirs:
+    def test_opendir_readdir_closedir(self, shim):
+        for name in ("c", "a", "b"):
+            shim.open(f"/fs/data/{name}", O_CREAT | O_WRONLY)
+        stream = shim.opendir("/fs/data")
+        names = []
+        while True:
+            entry = shim.readdir(stream)
+            if entry is None:
+                break
+            names.append(entry)
+        assert names == ["a", "b", "c"]
+        assert shim.closedir(stream) == 0
+
+    def test_mkdir_and_unlink(self, shim):
+        shim.mkdir("/fs/newdir")
+        assert shim.stat("/fs/newdir").is_dir
+        shim.open("/fs/newdir/f", O_CREAT | O_WRONLY)
+        assert shim.unlink("/fs/newdir/f") == 0
+        with pytest.raises(FileNotFound):
+            shim.stat("/fs/newdir/f")
+
+
+class TestRouting:
+    def test_outside_namespace_without_passthrough_rejected(self, shim):
+        with pytest.raises(PermissionDenied):
+            shim.open("/home/user/file", O_CREAT | O_WRONLY)
+
+    def test_passthrough_serves_outside_paths(self):
+        bb = ThemisFS(["bb0"], capacity_per_server=1 << 20)
+        bb.mkdir("/fs")
+        local = ThemisFS(["local"], capacity_per_server=1 << 20)
+        local.makedirs("/home/user")
+        shim = PosixShim(bb, passthrough=local)
+        fd = shim.open("/home/user/notes", O_CREAT | O_WRONLY)
+        shim.write(fd, b"hi")
+        assert local.stat("/home/user/notes").size == 2
+        assert bb.exists("/home/user/notes") is False
+
+    def test_is_intercepted_path(self, shim):
+        assert shim.is_intercepted_path("/fs/data/x")
+        assert not shim.is_intercepted_path("/scratch/x")
+
+
+class TestInterceptionWiring:
+    def test_listing1_installed_and_dispatches(self, shim):
+        reg = InterposeRegistry()
+        install_interception(reg, shim)
+        for fn in ["open", "close", "read", "write", "lseek",
+                   "opendir", "readdir", "closedir", "stat", "unlink"]:
+            assert reg.is_intercepted(fn)
+        fd = reg.call("open", "/fs/data/via-interpose", O_CREAT | O_RDWR)
+        assert reg.call("write", fd, b"abc") == 3
+        reg.call("lseek", fd, 0, SEEK_SET)
+        assert reg.call("read", fd, 3) == b"abc"
+        assert reg.call("close", fd) == 0
+        assert reg.stats("open").intercepted == 1
+
+    def test_default_original_raises(self, shim):
+        reg = InterposeRegistry()
+        install_interception(reg, shim)
+        with pytest.raises(FileNotFound):
+            reg.call_original("open", "/etc/passwd", O_RDONLY)

@@ -1,0 +1,100 @@
+"""Tests for the named RNG registry and the tracer."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Engine, RngRegistry, Tracer, stable_hash
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(seed=7).stream("tokens").random(5)
+        b = RngRegistry(seed=7).stream("tokens").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("tokens").random(5)
+        b = RngRegistry(seed=2).stream("tokens").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_streams_are_independent_by_name(self):
+        reg = RngRegistry(seed=0)
+        a = reg.stream("a").random(5)
+        b = reg.stream("b").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(seed=0)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_adding_consumer_does_not_perturb_existing(self):
+        reg1 = RngRegistry(seed=3)
+        first = reg1.stream("main").random(3)
+
+        reg2 = RngRegistry(seed=3)
+        reg2.stream("other").random(100)  # interleaved consumer
+        second = reg2.stream("main").random(3)
+        assert np.array_equal(first, second)
+
+    def test_uniform_in_range(self):
+        reg = RngRegistry(seed=0)
+        for _ in range(100):
+            u = reg.uniform("u")
+            assert 0.0 <= u < 1.0
+
+    def test_spawn_is_reproducible_and_distinct(self):
+        parent = RngRegistry(seed=9)
+        c1 = parent.spawn("child").stream("s").random(4)
+        c2 = RngRegistry(seed=9).spawn("child").stream("s").random(4)
+        assert np.array_equal(c1, c2)
+        assert not np.array_equal(c1, parent.stream("s").random(4))
+
+    def test_stable_hash_is_stable(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash("abc") != stable_hash("abd")
+
+
+class TestTracer:
+    def test_records_time_and_payload(self):
+        eng = Engine()
+        tr = Tracer(eng)
+
+        def proc():
+            yield eng.timeout(1.0)
+            tr.emit("io.done", {"bytes": 10})
+
+        eng.process(proc())
+        eng.run()
+        recs = list(tr.select("io.done"))
+        assert len(recs) == 1
+        assert recs[0].time == pytest.approx(1.0)
+        assert recs[0].payload == {"bytes": 10}
+
+    def test_enabled_filter(self):
+        eng = Engine()
+        tr = Tracer(eng, enabled={"keep"})
+        tr.emit("keep", 1)
+        tr.emit("drop", 2)
+        assert len(tr) == 1
+
+    def test_select_prefix(self):
+        eng = Engine()
+        tr = Tracer(eng)
+        tr.emit("io.read", 1)
+        tr.emit("io.write", 2)
+        tr.emit("sync.gather", 3)
+        assert len(list(tr.select_prefix("io."))) == 2
+
+    def test_clear(self):
+        eng = Engine()
+        tr = Tracer(eng)
+        tr.emit("x")
+        tr.clear()
+        assert len(tr) == 0
+
+    def test_record_unpacks(self):
+        eng = Engine()
+        tr = Tracer(eng)
+        tr.emit("cat", "pay")
+        t, c, p = tr.records[0]
+        assert (t, c, p) == (0.0, "cat", "pay")

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+class TestListing:
+    def test_figures_lists_all(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(FIGURES)
+
+    def test_policies_lists_levels(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "group-user-size-fair" in out
+        assert "group -> user -> size" in out
+
+
+class TestFigure:
+    def test_runs_a_small_figure(self, capsys):
+        assert main(["figure", "fig08a", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "policy=size-fair" in out
+        assert "GB/s" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestSharing:
+    def test_adhoc_sharing_run(self, capsys):
+        assert main(["sharing", "--policy", "job-fair",
+                     "--jobs", "2:a,2:b", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "job1" in out and "job2" in out and "total" in out
+
+    def test_bad_jobs_spec_is_an_error(self, capsys):
+        assert main(["sharing", "--jobs", "nonsense"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_policy_is_an_error(self, capsys):
+        assert main(["sharing", "--policy", "banana-fair",
+                     "--jobs", "1:a"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,150 @@
+"""Tests for the RPC layer over UCP workers."""
+
+import pytest
+
+from repro.errors import UCXError
+from repro.net import Fabric
+from repro.sim import Engine
+from repro.ucx import RpcClient, RpcServer, UCPContext
+
+
+@pytest.fixture
+def env():
+    eng = Engine()
+    fabric = Fabric(eng, latency=0.001, link_bandwidth=1e9)
+    ctx_c = UCPContext(eng, fabric, "client-node")
+    ctx_s = UCPContext(eng, fabric, "server-node")
+    cw = ctx_c.create_worker("cw")
+    sw = ctx_s.create_worker("sw")
+    return eng, cw, sw
+
+
+def test_call_and_immediate_reply(env):
+    eng, cw, sw = env
+    RpcServer(sw, lambda req: req.reply({"echo": req.body}))
+    client = RpcClient(cw, sw.address)
+    got = []
+
+    def proc():
+        resp = yield client.call("echo", body="ping")
+        got.append(resp)
+
+    eng.process(proc())
+    eng.run()
+    assert got == [{"echo": "ping"}]
+
+
+def test_deferred_reply_after_processing(env):
+    eng, cw, sw = env
+    pending = []
+    RpcServer(sw, pending.append)
+
+    def server_side():
+        yield eng.timeout(1.0)  # simulated processing delay
+        pending[0].reply("done")
+
+    client = RpcClient(cw, sw.address)
+    got = []
+
+    def proc():
+        resp = yield client.call("work")
+        got.append((eng.now, resp))
+
+    eng.process(proc())
+    eng.process(server_side())
+    eng.run()
+    assert got[0][1] == "done"
+    assert got[0][0] >= 1.0
+
+
+def test_concurrent_calls_correlate_correctly(env):
+    eng, cw, sw = env
+
+    def handler(req):
+        # Reply out of order: later calls answered first.
+        def replier():
+            yield eng.timeout(1.0 / req.body)
+            req.reply(req.body * 10)
+
+        eng.process(replier())
+
+    RpcServer(sw, handler)
+    client = RpcClient(cw, sw.address)
+    got = {}
+
+    def proc(n):
+        resp = yield client.call("op", body=n)
+        got[n] = resp
+
+    for n in (1, 2, 3):
+        eng.process(proc(n))
+    eng.run()
+    assert got == {1: 10, 2: 20, 3: 30}
+
+
+def test_request_size_adds_serialisation_delay():
+    eng = Engine()
+    fabric = Fabric(eng, latency=0.0, link_bandwidth=100.0)
+    ctx_c = UCPContext(eng, fabric, "c")
+    ctx_s = UCPContext(eng, fabric, "s")
+    cw = ctx_c.create_worker("w")
+    sw = ctx_s.create_worker("w")
+    RpcServer(sw, lambda req: req.reply("ok"))
+    client = RpcClient(cw, sw.address)
+    done = []
+
+    def proc():
+        yield client.call("write", body=None, size=200)  # 2 s on the wire
+        done.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    assert done[0] >= 2.0
+
+
+def test_duplicate_reply_rejected(env):
+    eng, cw, sw = env
+    seen = []
+    RpcServer(sw, seen.append)
+    client = RpcClient(cw, sw.address)
+
+    def proc():
+        yield client.call("x")
+
+    eng.process(proc())
+    eng.run(until=0.01)
+    req = seen[0]
+    req.reply("once")
+    with pytest.raises(UCXError):
+        req.reply("twice")
+
+
+def test_in_flight_tracking(env):
+    eng, cw, sw = env
+    pending = []
+    RpcServer(sw, pending.append)
+    client = RpcClient(cw, sw.address)
+
+    def proc():
+        yield client.call("x")
+
+    eng.process(proc())
+    eng.run(until=0.01)
+    assert client.in_flight == 1
+    pending[0].reply()
+    eng.run()
+    assert client.in_flight == 0
+
+
+def test_server_counts_calls(env):
+    eng, cw, sw = env
+    server = RpcServer(sw, lambda req: req.reply())
+    client = RpcClient(cw, sw.address)
+
+    def proc():
+        yield client.call("a")
+        yield client.call("b")
+
+    eng.process(proc())
+    eng.run()
+    assert server.calls_received == 2

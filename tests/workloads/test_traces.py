@@ -1,0 +1,125 @@
+"""Tests for trace parsing and replay."""
+
+import pytest
+
+from repro.bb import Cluster, ClusterConfig
+from repro.core import JobInfo
+from repro.errors import ConfigError
+from repro.units import MB
+from repro.workloads import (TraceOp, TraceWorkload, format_trace_csv,
+                             parse_trace_csv)
+
+
+def replay(workload, seconds=5.0):
+    cluster = Cluster(ClusterConfig(n_servers=1, policy="job-fair"))
+    cluster.fs.makedirs("/fs/tr")
+    client = cluster.add_client(JobInfo(job_id=1, user="u", size=1))
+    done = {"t": None}
+
+    def proc():
+        yield from workload.run_stream(cluster.engine, client,
+                                       cluster.rng.stream("tr"),
+                                       "/fs/tr", 0, None)
+        done["t"] = cluster.engine.now
+
+    cluster.engine.process(proc())
+    cluster.run(until=seconds)
+    return cluster, done["t"]
+
+
+class TestTraceOp:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TraceOp(time=-1, op="write", path="f", size=1)
+        with pytest.raises(ConfigError):
+            TraceOp(time=0, op="paint", path="f")
+        with pytest.raises(ConfigError):
+            TraceOp(time=0, op="read", path="f", size=0)
+
+
+class TestCsv:
+    def test_parse_basic(self):
+        ops = parse_trace_csv(
+            "# comment\n"
+            "0.5,write,out.dat,0,1048576\n"
+            "0.1,stat,out.dat\n"
+            "\n")
+        assert len(ops) == 2
+        assert ops[0].op == "stat"  # sorted by time
+        assert ops[1].size == 1048576
+
+    def test_roundtrip(self):
+        ops = [TraceOp(0.0, "open", "f"),
+               TraceOp(1.0, "write", "f", 0, 100),
+               TraceOp(2.0, "unlink", "f")]
+        assert parse_trace_csv(format_trace_csv(ops)) == ops
+
+    def test_bad_lines_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_trace_csv("1.0,write\n")
+        with pytest.raises(ConfigError):
+            parse_trace_csv("abc,write,f,0,1\n")
+
+
+class TestReplay:
+    def test_untimed_replay_executes_all_ops(self):
+        ops = [TraceOp(0.0, "mkdir", "sub"),
+               TraceOp(0.0, "write", "sub/f", 0, 2 * MB),
+               TraceOp(0.0, "read", "sub/f", 0, 2 * MB),
+               TraceOp(0.0, "stat", "sub/f"),
+               TraceOp(0.0, "unlink", "sub/f")]
+        cluster, t = replay(TraceWorkload(ops, timed=False))
+        assert t is not None
+        s = cluster.sampler
+        assert s.op_count(op="write") == 1
+        assert s.op_count(op="read") == 1
+        assert s.op_count(op="stat") == 1
+        assert not cluster.fs.exists("/fs/tr/sub/f")
+
+    def test_timed_replay_preserves_pacing(self):
+        ops = [TraceOp(0.0, "write", "f", 0, MB),
+               TraceOp(1.0, "write", "f", 0, MB)]
+        cluster, t = replay(TraceWorkload(ops, timed=True))
+        assert t == pytest.approx(1.0, abs=0.05)
+        times = [rec for rec in cluster.sampler._times]
+        assert times[-1] >= 1.0
+
+    def test_placeholders_separate_streams(self):
+        ops = [TraceOp(0.0, "write", "s{stream}.dat", 0, MB)]
+        wl = TraceWorkload(ops, timed=False, streams_per_node=2)
+        cluster = Cluster(ClusterConfig(n_servers=1, policy="job-fair"))
+        cluster.fs.makedirs("/fs/tr")
+        client = cluster.add_client(JobInfo(job_id=1, user="u", size=1))
+        for idx in range(2):
+            cluster.engine.process(wl.run_stream(
+                cluster.engine, client, cluster.rng.stream(f"t{idx}"),
+                "/fs/tr", idx, None))
+        cluster.run(until=5.0)
+        assert sorted(cluster.fs.readdir("/fs/tr")) == ["s0.dat", "s1.dat"]
+
+    def test_loop_until_stop(self):
+        ops = [TraceOp(0.0, "write", "f", 0, MB)]
+        wl = TraceWorkload(ops, timed=False, loop=True)
+        cluster = Cluster(ClusterConfig(n_servers=1, policy="job-fair"))
+        cluster.fs.makedirs("/fs/tr")
+        client = cluster.add_client(JobInfo(job_id=1, user="u", size=1))
+        cluster.engine.process(wl.run_stream(
+            cluster.engine, client, cluster.rng.stream("t"),
+            "/fs/tr", 0, 0.05))
+        cluster.run(until=1.0)
+        assert cluster.sampler.op_count(op="write") > 1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceWorkload([])
+
+    def test_absolute_paths_bypass_prefix(self):
+        cluster = Cluster(ClusterConfig(n_servers=1, policy="job-fair"))
+        cluster.fs.makedirs("/fs/elsewhere")
+        client = cluster.add_client(JobInfo(job_id=1, user="u", size=1))
+        ops = [TraceOp(0.0, "write", "/fs/elsewhere/abs.dat", 0, MB)]
+        cluster.engine.process(TraceWorkload(ops, timed=False).run_stream(
+            cluster.engine, client, cluster.rng.stream("t"),
+            "/fs/tr-unused", 0, None))
+        cluster.run(until=5.0)
+        assert cluster.fs.exists("/fs/elsewhere/abs.dat")
