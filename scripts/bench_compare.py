@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Compare a fresh ``BENCH_*.json`` against a committed baseline.
+
+Exits non-zero when any kernel's ``ops_per_s`` regressed by more than
+``--threshold`` (default 15%) relative to the baseline. Improvements
+and new kernels are reported but never fail the check.
+
+Usage::
+
+    python scripts/bench_compare.py CURRENT.json [BASELINE.json] \
+        [--threshold 0.15]
+
+With no explicit baseline, the newest committed ``BENCH_*.json`` (by
+its ``generated_at`` stamp) in the repository root is used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def newest_committed_baseline(exclude: str) -> str:
+    candidates = [p for p in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))
+                  if os.path.abspath(p) != os.path.abspath(exclude)]
+    if not candidates:
+        raise SystemExit("no committed BENCH_*.json baseline found")
+    return max(candidates, key=lambda p: load(p).get("generated_at", ""))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly generated BENCH json")
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="baseline BENCH json (default: newest committed)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max tolerated fractional regression (0.15 = 15%%)")
+    args = parser.parse_args(argv)
+
+    current = load(args.current)
+    baseline_path = args.baseline or newest_committed_baseline(args.current)
+    baseline = load(baseline_path)
+
+    print(f"current  rev={current.get('rev')} ({args.current})")
+    print(f"baseline rev={baseline.get('rev')} ({baseline_path})")
+    print(f"threshold: {args.threshold:.0%} regression\n")
+    header = f"{'kernel':32s} {'baseline/s':>14s} {'current/s':>14s} {'ratio':>7s}"
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    for name, base in sorted(baseline.get("results", {}).items()):
+        cur = current.get("results", {}).get(name)
+        if cur is None:
+            print(f"{name:32s} {'(missing in current)':>14s}")
+            regressions.append((name, "kernel missing from current run"))
+            continue
+        base_rate, cur_rate = base.get("ops_per_s", 0), cur.get("ops_per_s", 0)
+        if base_rate <= 0:
+            continue
+        ratio = cur_rate / base_rate
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            flag = "  <-- REGRESSION"
+            regressions.append(
+                (name, f"{base_rate:,.0f} -> {cur_rate:,.0f} ops/s "
+                       f"({ratio:.2f}x)"))
+        print(f"{name:32s} {base_rate:>14,.0f} {cur_rate:>14,.0f} "
+              f"{ratio:>6.2f}x{flag}")
+
+    for name in sorted(set(current.get("results", {}))
+                       - set(baseline.get("results", {}))):
+        print(f"{name:32s} {'(new kernel)':>14s}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} kernel(s) regressed "
+              f"beyond {args.threshold:.0%}:")
+        for name, detail in regressions:
+            print(f"  - {name}: {detail}")
+        return 1
+    print("\nOK: no kernel regressed beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..errors import FileNotFound, FSError
 from ..fs.striping import map_range
+from ..sim.process import Event
 from .request import IORequest, OpType
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -26,9 +27,6 @@ __all__ = ["IOWorker"]
 #: Retry delay when a throttling scheduler blocks a backlog and cannot
 #: name a wake-up time (defensive; normal paths use next_eligible_time).
 _BLOCKED_RETRY = 1e-3
-
-#: Backoff while waiting on a conflicting range/metadata lock.
-_LOCK_RETRY = 1e-5
 
 
 class IOWorker:
@@ -78,8 +76,10 @@ class IOWorker:
 
         Reads take no lock; writes take byte-range write locks
         (conflicting ranges serialise); namespace updates take the
-        parent directory's metadata lock. Conflicts are rare — waiting
-        workers poll with a short backoff.
+        parent directory's metadata lock. A conflicting worker parks on
+        a waiter event the lock table triggers at the next release on
+        that inode — no polling, so contention adds no timer events to
+        the engine heap and the lock is acquired the instant it frees.
         """
         engine = self.server.engine
         node = self._lock_node()
@@ -91,7 +91,9 @@ class IOWorker:
             while not node.range_locks.try_lock_write(
                     inode.ino, request.offset, request.size, self):
                 self.lock_waits += 1
-                yield engine.timeout(_LOCK_RETRY)
+                released = Event(engine)
+                node.range_locks.wait(inode.ino, released)
+                yield released
         elif request.op in (OpType.OPEN, OpType.UNLINK, OpType.MKDIR):
             parent = self.server.fs.lookup(
                 request.path.rsplit("/", 1)[0] or "/")
@@ -100,7 +102,9 @@ class IOWorker:
             self.locked_meta = parent.ino
             while not node.meta_locks.try_lock(parent.ino, self):
                 self.lock_waits += 1
-                yield engine.timeout(_LOCK_RETRY)
+                released = Event(engine)
+                node.meta_locks.wait(parent.ino, released)
+                yield released
 
     def _release_locks(self, request: IORequest) -> None:
         node = self._lock_node()

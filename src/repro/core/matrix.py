@@ -71,13 +71,15 @@ def build_transition_matrices(
         return tuple(_entity_key(levels[i], job) for i in range(depth))
 
     matrices: List[np.ndarray] = []
-    # Entities at each level, in deterministic (sorted) order.
+    # Entities at each level, in deterministic (sorted) order; the
+    # scope -> row map makes each lookup O(1) instead of a list scan.
     parent_scopes: List[tuple] = [()]  # the virtual root
+    parent_rows: Dict[tuple, int] = {(): 0}
     for depth, level in enumerate(heads):
         child_scopes = sorted({scope_key(j, depth + 1) for j in jobs})
         T = np.zeros((len(parent_scopes), len(child_scopes)))
         for col, child in enumerate(child_scopes):
-            row = parent_scopes.index(child[:depth])
+            row = parent_rows[child[:depth]]
             T[row, col] = 1.0  # placeholder; normalised below
         # Even split within each parent scope (group-/user-fair tiers).
         row_counts = T.sum(axis=1, keepdims=True)
@@ -85,12 +87,13 @@ def build_transition_matrices(
                       where=row_counts > 0)
         matrices.append(T)
         parent_scopes = child_scopes
+        parent_rows = {scope: i for i, scope in enumerate(child_scopes)}
 
     # Terminal level: columns are jobs, weighted by the tail rule.
     depth = len(heads)
     T = np.zeros((len(parent_scopes), len(jobs)))
     for col, job in enumerate(jobs):
-        row = parent_scopes.index(scope_key(job, depth))
+        row = parent_rows[scope_key(job, depth)]
         T[row, col] = _terminal_weight(tail, job)
     row_sums = T.sum(axis=1, keepdims=True)
     T = np.divide(T, row_sums, out=np.zeros_like(T), where=row_sums > 0)

@@ -4,10 +4,19 @@ Inbound I/O requests "are grouped into queues based on the fair sharing
 policy ... identified by job ids". Queue items only need a ``job_id``
 attribute plus a ``cost`` (bytes of service the request consumes); the
 burst-buffer request type satisfies this protocol.
+
+The queue set sits on the scheduler's per-dequeue hot path, so its
+bookkeeping is incremental: the sorted nonempty-job list is maintained
+with ``bisect`` on membership transitions (not re-sorted per call),
+per-job cost totals are running accumulators (O(1) ``queued_cost`` for
+GIFT's demand estimate), and :attr:`membership_version` counts
+membership transitions so schedulers can cache work keyed on "has the
+set of backlogged jobs changed?".
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
@@ -21,8 +30,11 @@ class QueueSet:
 
     def __init__(self):
         self._queues: Dict[int, Deque[Any]] = {}
+        self._sorted_jobs: List[int] = []  # job ids with a nonempty queue
         self._total = 0
         self._total_cost = 0.0
+        self._job_cost: Dict[int, float] = {}
+        self._membership_version = 0
 
     def push(self, item: Any) -> None:
         """Append *item* to its job's queue."""
@@ -30,9 +42,13 @@ class QueueSet:
         queue = self._queues.get(job_id)
         if queue is None:
             queue = self._queues[job_id] = deque()
+            insort(self._sorted_jobs, job_id)
+            self._membership_version += 1
         queue.append(item)
+        cost = item.cost
         self._total += 1
-        self._total_cost += item.cost
+        self._total_cost += cost
+        self._job_cost[job_id] = self._job_cost.get(job_id, 0.0) + cost
 
     def pop(self, job_id: int) -> Any:
         """Remove and return the oldest request of *job_id*."""
@@ -44,6 +60,13 @@ class QueueSet:
         self._total_cost -= item.cost
         if not queue:
             del self._queues[job_id]
+            del self._sorted_jobs[bisect_left(self._sorted_jobs, job_id)]
+            self._membership_version += 1
+            # Reset the accumulator at empty so float drift cannot build
+            # up across a job's lifetime.
+            self._job_cost[job_id] = 0.0
+        else:
+            self._job_cost[job_id] -= item.cost
         return item
 
     def peek(self, job_id: int) -> Optional[Any]:
@@ -58,12 +81,23 @@ class QueueSet:
 
     def queued_cost(self, job_id: int) -> float:
         """Total service cost queued for *job_id* (GIFT demand estimate)."""
-        queue = self._queues.get(job_id)
-        return sum(item.cost for item in queue) if queue else 0.0
+        if job_id not in self._queues:
+            return 0.0
+        return self._job_cost[job_id]
 
     def nonempty_jobs(self) -> List[int]:
         """Job ids with at least one queued request, sorted."""
-        return sorted(self._queues)
+        return list(self._sorted_jobs)
+
+    @property
+    def membership_version(self) -> int:
+        """Counter bumped whenever a job's queue becomes (non)empty.
+
+        Two calls observing the same version are guaranteed to see the
+        same set of backlogged jobs — the scheduler's draw cache keys on
+        this together with its assignment version.
+        """
+        return self._membership_version
 
     @property
     def total(self) -> int:

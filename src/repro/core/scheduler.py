@@ -19,7 +19,7 @@ so the paper's comparators (FIFO, GIFT, TBF — see
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, List, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -79,19 +79,41 @@ class StatisticalTokenScheduler(Scheduler):
     Jobs that have queued requests but are not yet in the token
     assignment (first requests racing the job-table update) are treated
     as holding the mean share until the controller recomputes tokens.
+
+    The restricted (opportunity-fair) assignment is **cached**: building
+    a :class:`TokenAssignment` costs numpy allocations, a sort, and a
+    cumsum, but its inputs only change when the token assignment itself
+    is replaced or the *membership* of the backlogged-job set changes.
+    The cache is keyed by ``(assignment version, backlog signature)`` —
+    a fast single-entry check against the queue set's membership
+    version, backed by a per-assignment-version dict keyed on the exact
+    backlogged-job tuple so recurring backlog patterns (a job draining
+    and refilling) stay hits. A cached draw is bit-identical to an
+    uncached rebuild: the cache stores exactly the object that
+    reconstruction from the same inputs would produce.
     """
 
     name = "themis"
 
+    #: Cap on distinct backlog signatures cached per assignment version.
+    _CACHE_MAX = 256
+
     def __init__(self, policy: Policy, rng: np.random.Generator,
-                 opportunity_fair: bool = True):
+                 opportunity_fair: bool = True, cache_draws: bool = True):
         self.policy = policy
         self.rng = rng
         self.opportunity_fair = bool(opportunity_fair)
+        self.cache_draws = bool(cache_draws)
         self.queues = QueueSet()
         self.assignment: Optional[TokenAssignment] = None
         self.draws = 0
         self.wasted_draws = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._assignment_version = 0
+        self._restricted_cache: dict = {}   # backlog tuple -> TokenAssignment
+        self._fast_key: Optional[tuple] = None  # (assign ver, membership ver)
+        self._fast_restricted: Optional[TokenAssignment] = None
 
     # -------------------------------------------------------------- interface
     def enqueue(self, request: Any, now: float) -> None:
@@ -100,42 +122,87 @@ class StatisticalTokenScheduler(Scheduler):
     def on_jobs_changed(self, active_jobs: Sequence[JobInfo],
                         now: float) -> None:
         shares = self.policy.shares(active_jobs)
-        self.assignment = TokenAssignment(shares) if shares else None
+        self._install(TokenAssignment(shares) if shares else None)
 
     def set_assignment(self, shares, now: float) -> None:
         positive = {j: s for j, s in shares.items() if s > 0}
-        self.assignment = TokenAssignment(positive) if positive else None
+        self._install(TokenAssignment(positive) if positive else None)
+
+    def _install(self, assignment: Optional[TokenAssignment]) -> None:
+        self.assignment = assignment
+        self._assignment_version += 1
+        self._restricted_cache.clear()
+        self._fast_key = None
+        self._fast_restricted = None
 
     def dequeue(self, now: float) -> Optional[Any]:
-        if not self.queues:
+        queues = self.queues
+        if not queues:
             return None
-        backlogged: List[int] = self.queues.nonempty_jobs()
-        if self.assignment is None:
+        assignment = self.assignment
+        if assignment is None:
             # No token info yet: serve uniformly among backlogged jobs.
+            backlogged = queues.nonempty_jobs()
             job_id = backlogged[self._draw_index(len(backlogged))]
-            return self.queues.pop(job_id)
+            return queues.pop(job_id)
 
         if not self.opportunity_fair:
             self.draws += 1
-            job_id = self.assignment.draw(float(self.rng.random()))
-            if self.queues.depth(job_id) == 0:
+            job_id = assignment.draw(float(self.rng.random()))
+            if queues.depth(job_id) == 0:
                 self.wasted_draws += 1
                 return None
-            return self.queues.pop(job_id)
+            return queues.pop(job_id)
 
-        # Opportunity fairness: renormalise over backlogged jobs, giving
-        # not-yet-assigned jobs the mean share.
-        mean_share = 1.0 / max(len(self.assignment), 1)
-        shares = {}
-        for job_id in backlogged:
-            if job_id in self.assignment:
-                share = self.assignment.share(job_id)
-                shares[job_id] = share if share > 0 else mean_share
-            else:
-                shares[job_id] = mean_share
+        restricted = self._restricted_assignment()
         self.draws += 1
-        choice = TokenAssignment(shares).draw(float(self.rng.random()))
-        return self.queues.pop(choice)
+        choice = restricted.draw(float(self.rng.random()))
+        return queues.pop(choice)
+
+    # ------------------------------------------------------------- draw cache
+    def _restricted_assignment(self) -> TokenAssignment:
+        """The backlog-restricted assignment, cached across dequeues."""
+        queues = self.queues
+        if self.cache_draws:
+            key = (self._assignment_version, queues.membership_version)
+            if key == self._fast_key:
+                self.cache_hits += 1
+                return self._fast_restricted
+            signature = tuple(queues.nonempty_jobs())
+            restricted = self._restricted_cache.get(signature)
+            if restricted is None:
+                self.cache_misses += 1
+                restricted = self._build_restricted(signature)
+                if len(self._restricted_cache) >= self._CACHE_MAX:
+                    self._restricted_cache.clear()
+                self._restricted_cache[signature] = restricted
+            else:
+                self.cache_hits += 1
+            self._fast_key = key
+            self._fast_restricted = restricted
+            return restricted
+        return self._build_restricted(queues.nonempty_jobs())
+
+    def _build_restricted(self, backlogged: Sequence[int]) -> TokenAssignment:
+        """Renormalise over backlogged jobs, giving not-yet-assigned jobs
+        the mean share (identical to the uncached per-dequeue rebuild).
+
+        *backlogged* comes from the queue set already sorted, which lets
+        the fast :meth:`TokenAssignment._from_backlog` constructor skip
+        sorting and validation."""
+        assignment = self.assignment
+        index = assignment._index
+        shares_list = assignment._shares_list
+        mean_share = 1.0 / max(len(index), 1)
+        values = []
+        for job_id in backlogged:
+            i = index.get(job_id)
+            if i is None:
+                values.append(mean_share)
+            else:
+                share = shares_list[i]
+                values.append(share if share > 0 else mean_share)
+        return TokenAssignment._from_backlog(list(backlogged), values)
 
     @property
     def backlog(self) -> int:

@@ -9,17 +9,67 @@ the random number falls in its corresponding segment."
 it answers ``draw(u)`` in O(log n) via a cumulative-boundary search, and
 ``restrict(eligible)`` renormalises over a subset — the mechanism behind
 *opportunity fairness* (unused cycles flow to jobs that can use them).
+
+``draw`` is the server's per-request hot path. Below
+:data:`SMALL_N_THRESHOLD` jobs — which covers every population the
+paper actually runs — a ``np.searchsorted`` call is dominated by numpy's
+per-call dispatch overhead, so the search runs as pure-Python
+:func:`bisect.bisect_right` over a prebuilt cumulative list instead.
+The boundaries are still computed with numpy (identical floating-point
+results either way, since ``tolist()`` round-trips float64 exactly), so
+both search paths return bit-identical choices.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import SchedulerError
 
-__all__ = ["TokenAssignment"]
+__all__ = ["TokenAssignment", "SMALL_N_THRESHOLD"]
+
+#: Population size below which ``draw`` uses pure-Python bisect; numpy's
+#: call overhead only amortises above roughly this many jobs.
+SMALL_N_THRESHOLD = 128
+
+
+def _pairwise_sum(values: List[float]) -> float:
+    """Sum *values* in the exact order ``np.ndarray.sum`` uses.
+
+    numpy's pairwise summation processes blocks of eight with eight
+    partial accumulators, then combines them as ``((r0+r1)+(r2+r3)) +
+    ((r4+r5)+(r6+r7))``; below eight elements it is a plain sequential
+    sum. Replicating that order keeps the pure-Python constructor
+    bit-identical to the numpy one. Only valid for ``len(values) <=
+    128`` (one numpy block) — larger inputs take the numpy path anyway.
+    """
+    n = len(values)
+    if n < 8:
+        total = 0.0
+        for v in values:
+            total += v
+        return total
+    r0, r1, r2, r3, r4, r5, r6, r7 = values[:8]
+    i = 8
+    limit = n - (n % 8)
+    while i < limit:
+        r0 += values[i]
+        r1 += values[i + 1]
+        r2 += values[i + 2]
+        r3 += values[i + 3]
+        r4 += values[i + 4]
+        r5 += values[i + 5]
+        r6 += values[i + 6]
+        r7 += values[i + 7]
+        i += 8
+    total = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+    while i < n:
+        total += values[i]
+        i += 1
+    return total
 
 
 class TokenAssignment:
@@ -36,28 +86,81 @@ class TokenAssignment:
         if total <= 0:
             raise SchedulerError(f"shares sum to zero: {shares}")
         self.job_ids: List[int] = [job_id for job_id, _ in items]
-        self.shares = values / total
-        self._cum = np.cumsum(self.shares)
+        self._shares_arr: Optional[np.ndarray] = values / total
+        self._cum = np.cumsum(self._shares_arr)
         self._cum[-1] = 1.0  # guard against floating-point shortfall
+        self._cum_list: List[float] = self._cum.tolist()
+        self._shares_list: List[float] = self._shares_arr.tolist()
+        self._small = len(self.job_ids) < SMALL_N_THRESHOLD
         self._index = {job_id: i for i, job_id in enumerate(self.job_ids)}
+
+    @property
+    def shares(self) -> np.ndarray:
+        """Normalised per-job shares, ordered like :attr:`job_ids`."""
+        if self._shares_arr is None:
+            self._shares_arr = np.asarray(self._shares_list)
+        return self._shares_arr
+
+    @classmethod
+    def _from_backlog(cls, job_ids: List[int],
+                      values: List[float]) -> "TokenAssignment":
+        """Internal fast constructor for the scheduler's restricted draws.
+
+        *job_ids* must be sorted ascending and *values* positive — the
+        scheduler guarantees both, so validation and re-sorting are
+        skipped. Below :data:`SMALL_N_THRESHOLD` the normalisation runs
+        in pure Python with :func:`_pairwise_sum` so the resulting
+        segment boundaries are bit-identical to ``TokenAssignment(dict)``
+        without any numpy dispatch on the per-dequeue cache-miss path.
+        """
+        self = object.__new__(cls)
+        self.job_ids = job_ids
+        n = len(job_ids)
+        if n < SMALL_N_THRESHOLD:
+            total = _pairwise_sum(values)
+            shares_list = [v / total for v in values]
+            cum_list = []
+            acc = 0.0
+            for s in shares_list:
+                acc += s
+                cum_list.append(acc)
+            cum_list[-1] = 1.0  # guard against floating-point shortfall
+            self._shares_arr = None  # materialised lazily by .shares
+            self._cum = None  # large-n search path unused below threshold
+            self._cum_list = cum_list
+            self._shares_list = shares_list
+            self._small = True
+        else:
+            arr = np.array(values, dtype=float)
+            self._shares_arr = arr / arr.sum()
+            self._cum = np.cumsum(self._shares_arr)
+            self._cum[-1] = 1.0
+            self._cum_list = self._cum.tolist()
+            self._shares_list = self._shares_arr.tolist()
+            self._small = False
+        self._index = {job_id: i for i, job_id in enumerate(job_ids)}
+        return self
 
     # ----------------------------------------------------------------- draws
     def draw(self, u: float) -> int:
         """The job whose segment contains *u* (u in [0, 1))."""
         if not 0.0 <= u < 1.0:
             raise SchedulerError(f"draw needs u in [0, 1): {u}")
-        idx = int(np.searchsorted(self._cum, u, side="right"))
+        if self._small:
+            idx = bisect_right(self._cum_list, u)
+        else:
+            idx = int(np.searchsorted(self._cum, u, side="right"))
         return self.job_ids[min(idx, len(self.job_ids) - 1)]
 
     def segment(self, job_id: int) -> Tuple[float, float]:
         """The ``[lo, hi)`` segment assigned to *job_id*."""
         i = self._lookup(job_id)
-        lo = float(self._cum[i - 1]) if i > 0 else 0.0
-        return lo, float(self._cum[i])
+        lo = self._cum_list[i - 1] if i > 0 else 0.0
+        return lo, self._cum_list[i]
 
     def share(self, job_id: int) -> float:
         """The normalised share of *job_id*."""
-        return float(self.shares[self._lookup(job_id)])
+        return self._shares_list[self._lookup(job_id)]
 
     def _lookup(self, job_id: int) -> int:
         try:
@@ -80,9 +183,12 @@ class TokenAssignment:
         jobs are preserved, so a backlogged job never receives less than
         its policy share of the server.
         """
-        subset = {job_id: self.share(job_id)
-                  for job_id in eligible if job_id in self._index}
-        subset = {j: s for j, s in subset.items() if s > 0}
+        index, shares = self._index, self._shares_list
+        subset = {}
+        for job_id in eligible:
+            i = index.get(job_id)
+            if i is not None and shares[i] > 0:
+                subset[job_id] = shares[i]
         if not subset:
             return None
         return TokenAssignment(subset)

@@ -9,7 +9,15 @@ worker's service window; the lock table is what decides whether two
 *in-flight* requests may be serviced concurrently by different workers.
 :class:`RangeLockTable` implements writer-vs-writer range conflicts
 (readers never block), :class:`MetadataLockTable` per-key mutexes.
-Both are non-blocking try-lock interfaces: callers re-queue on conflict.
+Both are non-blocking try-lock interfaces.
+
+Waiting is **event-driven**: a caller whose ``try_lock`` fails registers
+a waiter with :meth:`~RangeLockTable.wait` and parks on it; every
+release wakes all waiters on that inode (they retry, and losers re-wait)
+instead of the waiters polling on a timer. Wakeups happen in FIFO
+registration order, so contention resolution is deterministic. The
+tables stay simulation-agnostic — a waiter is anything with a
+``succeed()`` method, which :class:`repro.sim.process.Event` provides.
 """
 
 from __future__ import annotations
@@ -21,10 +29,37 @@ from ..errors import FSError
 __all__ = ["RangeLockTable", "MetadataLockTable"]
 
 
-class RangeLockTable:
+class _WaiterMixin:
+    """FIFO wake-all waiter queues keyed by inode number."""
+
+    def __init__(self):
+        self._waiters: Dict[int, List[object]] = {}
+
+    def wait(self, ino: int, waiter: object) -> None:
+        """Register *waiter* to be woken at the next release on *ino*.
+
+        *waiter* needs a ``succeed()`` method (e.g. a sim ``Event``).
+        Each registration is one-shot: a woken waiter that loses the
+        retry race must register a fresh waiter.
+        """
+        self._waiters.setdefault(ino, []).append(waiter)
+
+    def waiters(self, ino: int) -> int:
+        """Number of waiters currently parked on *ino*."""
+        return len(self._waiters.get(ino, ()))
+
+    def _wake(self, ino: int) -> None:
+        pending = self._waiters.pop(ino, None)
+        if pending:
+            for waiter in pending:
+                waiter.succeed()
+
+
+class RangeLockTable(_WaiterMixin):
     """Byte-range write locks per file (inode number)."""
 
     def __init__(self):
+        super().__init__()
         self._writes: Dict[int, List[Tuple[int, int, object]]] = {}
 
     def try_lock_write(self, ino: int, offset: int, length: int,
@@ -45,7 +80,10 @@ class RangeLockTable:
         return True
 
     def unlock_write(self, ino: int, owner: object) -> int:
-        """Release all write locks held by *owner* on *ino*; returns count."""
+        """Release all write locks held by *owner* on *ino*; returns count.
+
+        Releasing wakes every waiter parked on *ino*.
+        """
         held = self._writes.get(ino)
         if not held:
             return 0
@@ -55,6 +93,8 @@ class RangeLockTable:
             self._writes[ino] = kept
         else:
             self._writes.pop(ino, None)
+        if released:
+            self._wake(ino)
         return released
 
     def write_locks_held(self, ino: int) -> int:
@@ -62,10 +102,11 @@ class RangeLockTable:
         return len(self._writes.get(ino, []))
 
 
-class MetadataLockTable:
+class MetadataLockTable(_WaiterMixin):
     """Per-inode mutex for metadata updates (§4.3)."""
 
     def __init__(self):
+        super().__init__()
         self._held: Dict[int, object] = {}
 
     def try_lock(self, ino: int, owner: object) -> bool:
@@ -77,10 +118,11 @@ class MetadataLockTable:
         return current is owner  # re-entrant for the same owner
 
     def unlock(self, ino: int, owner: object) -> None:
-        """Release the mutex (must be the owner)."""
+        """Release the mutex (must be the owner) and wake waiters."""
         if self._held.get(ino) is not owner:
             raise FSError(f"unlocking metadata lock not held by owner: ino={ino}")
         del self._held[ino]
+        self._wake(ino)
 
     def locked(self, ino: int) -> bool:
         """True if *ino*'s metadata mutex is held."""

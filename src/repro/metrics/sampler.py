@@ -4,10 +4,18 @@ The paper reports "measured I/O throughput with samples taken at
 1-second intervals" (Fig. 8). The sampler records every completed
 request as ``(time, job_id, bytes, op)`` and bins on demand with numpy,
 so recording stays O(1) on the hot path.
+
+Aggregate queries never re-scan the record stream: byte totals and op
+counts are maintained incrementally at :meth:`record` time, and
+per-record cumulative byte prefixes let :meth:`window_throughput`
+answer any ``[t0, t1)`` window with two binary searches (completion
+times arrive in nondecreasing simulation order).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -25,6 +33,15 @@ class ThroughputSampler:
         self._jobs: List[int] = []
         self._bytes: List[int] = []
         self._ops: List[str] = []
+        # Incremental aggregates (satisfy totals/counts without scans).
+        self._total_bytes = 0
+        self._job_bytes: Dict[int, int] = {}
+        self._job_op_counts: Counter = Counter()  # (job_id, op) -> n
+        # Cumulative bytes after each record, per job and globally, for
+        # O(log n) window queries (parallel to the per-job time lists).
+        self._cum_bytes: List[int] = []
+        self._job_times: Dict[int, List[float]] = {}
+        self._job_cum_bytes: Dict[int, List[int]] = {}
 
     def record(self, now: float, job_id: int, nbytes: int, op: str) -> None:
         """Record one completed request."""
@@ -32,6 +49,16 @@ class ThroughputSampler:
         self._jobs.append(job_id)
         self._bytes.append(nbytes)
         self._ops.append(op)
+        self._total_bytes += nbytes
+        self._job_bytes[job_id] = self._job_bytes.get(job_id, 0) + nbytes
+        self._job_op_counts[(job_id, op)] += 1
+        self._cum_bytes.append(self._total_bytes)
+        times = self._job_times.get(job_id)
+        if times is None:
+            times = self._job_times[job_id] = []
+            self._job_cum_bytes[job_id] = []
+        times.append(now)
+        self._job_cum_bytes[job_id].append(self._job_bytes[job_id])
 
     def __len__(self) -> int:
         return len(self._times)
@@ -39,23 +66,26 @@ class ThroughputSampler:
     # ------------------------------------------------------------------ reads
     def job_ids(self) -> List[int]:
         """Distinct job ids observed, sorted."""
-        return sorted(set(self._jobs))
+        return sorted(self._job_bytes)
 
     def total_bytes(self, job_id: Optional[int] = None) -> int:
         """Total recorded bytes (optionally for one job)."""
         if job_id is None:
-            return int(sum(self._bytes))
-        return int(sum(b for j, b in zip(self._jobs, self._bytes)
-                       if j == job_id))
+            return self._total_bytes
+        return self._job_bytes.get(job_id, 0)
 
     def op_count(self, job_id: Optional[int] = None,
                  op: Optional[str] = None) -> int:
-        """Number of completions, filtered by job and/or op kind."""
-        count = 0
-        for j, o in zip(self._jobs, self._ops):
-            if (job_id is None or j == job_id) and (op is None or o == op):
-                count += 1
-        return count
+        """Number of completions, filtered by job and/or op kind.
+
+        Served from the incrementally maintained ``(job, op)`` counter —
+        O(distinct job/op pairs), never O(records).
+        """
+        if job_id is not None and op is not None:
+            return self._job_op_counts[(job_id, op)]
+        return sum(n for (j, o), n in self._job_op_counts.items()
+                   if (job_id is None or j == job_id)
+                   and (op is None or o == op))
 
     def series(self, job_id: Optional[int] = None, interval: float = 1.0,
                start: float = 0.0,
@@ -86,11 +116,24 @@ class ThroughputSampler:
 
     def window_throughput(self, t0: float, t1: float,
                           job_id: Optional[int] = None) -> float:
-        """Mean bytes/second over ``[t0, t1)``."""
+        """Mean bytes/second over ``[t0, t1)``.
+
+        O(log n): two binary searches over the (nondecreasing) record
+        times bracket the window, and the cumulative-byte prefixes give
+        the windowed sum by subtraction.
+        """
         if t1 <= t0:
             return 0.0
-        total = 0.0
-        for t, j, b in zip(self._times, self._jobs, self._bytes):
-            if t0 <= t < t1 and (job_id is None or j == job_id):
-                total += b
+        if job_id is None:
+            times, cum = self._times, self._cum_bytes
+        else:
+            times = self._job_times.get(job_id)
+            if times is None:
+                return 0.0
+            cum = self._job_cum_bytes[job_id]
+        lo = bisect_left(times, t0)
+        hi = bisect_left(times, t1)
+        if hi <= lo:
+            return 0.0
+        total = cum[hi - 1] - (cum[lo - 1] if lo > 0 else 0)
         return total / (t1 - t0)

@@ -31,6 +31,12 @@ from .process import AllOf, AnyOf, Event, Process, Timeout
 
 __all__ = ["Engine"]
 
+# Bound once at import: the schedule/step path runs for every simulated
+# event, where even the module-attribute lookup of heapq.heappush shows
+# up in profiles.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class Engine:
     """The simulation kernel: virtual clock plus event queue.
@@ -40,6 +46,9 @@ class Engine:
     start:
         Initial value of the simulated clock (seconds).
     """
+
+    __slots__ = ("_now", "_heap", "_seq", "_active_process",
+                 "_stop_requested")
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
@@ -68,11 +77,12 @@ class Engine:
         """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
-        if event.scheduled:
+        if event._scheduled:
             raise SimulationError(f"{event!r} already scheduled")
         event._scheduled = True
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (self._now + delay, seq, event))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Return an event that fires after ``delay`` simulated seconds."""
@@ -103,7 +113,7 @@ class Engine:
         """Process exactly one event; raise SimulationError if none remain."""
         if not self._heap:
             raise SimulationError("no scheduled events")
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, event = _heappop(self._heap)
         self._now = when
         event._fire()
 
@@ -122,14 +132,26 @@ class Engine:
                     f"until={until!r} is in the past (now={self._now!r})"
                 )
         self._stop_requested = False
+        heap = self._heap
         try:
-            while self._heap:
-                if self._stop_requested:
-                    return
-                if until is not None and self._heap[0][0] > until:
-                    self._now = until
-                    return
-                self.step()
+            if until is None:
+                # Unbounded run: tight loop without the deadline check.
+                while heap:
+                    if self._stop_requested:
+                        return
+                    when, _seq, event = _heappop(heap)
+                    self._now = when
+                    event._fire()
+            else:
+                while heap:
+                    if self._stop_requested:
+                        return
+                    if heap[0][0] > until:
+                        self._now = until
+                        return
+                    when, _seq, event = _heappop(heap)
+                    self._now = when
+                    event._fire()
         except StopSimulation:
             return
         if until is not None:
@@ -158,9 +180,17 @@ class Engine:
 
     def every(self, interval: float, fn: Callable[[], Any],
               start_delay: Optional[float] = None) -> Process:
-        """Run ``fn()`` every *interval* seconds forever; returns the process."""
+        """Run ``fn()`` every *interval* seconds forever; returns the process.
+
+        *start_delay* defaults to one full interval before the first
+        tick; ``start_delay=0`` fires the first tick immediately (at the
+        current time, after pending events). It must be non-negative.
+        """
         if interval <= 0:
             raise SimulationError(f"interval must be positive: {interval!r}")
+        if start_delay is not None and start_delay < 0:
+            raise SimulationError(
+                f"start_delay must be non-negative: {start_delay!r}")
 
         def _ticker():
             yield self.timeout(interval if start_delay is None else start_delay)

@@ -27,7 +27,15 @@ class Event:
     An event is *triggered* once :meth:`succeed` or :meth:`fail` is called
     (which schedules it), and *processed* after its callbacks have run.
     Callbacks are plain callables invoked with the event.
+
+    Events are the unit of allocation on the simulation hot path (every
+    timeout, RPC, and lock wait creates one), so the whole hierarchy
+    uses ``__slots__``; external subclasses may still add ad-hoc
+    attributes (they simply regain a ``__dict__``).
     """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_scheduled",
+                 "_processed", "_defused")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
@@ -116,6 +124,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` seconds after creation."""
 
+    __slots__ = ("delay", "_default_value")
+
     def __init__(self, engine: "Engine", delay: float, value: Any = None):
         super().__init__(engine)
         self.delay = float(delay)
@@ -125,6 +135,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event used to start a new process on the next step."""
+
+    __slots__ = ()
 
     def __init__(self, engine: "Engine", process: "Process"):
         super().__init__(engine)
@@ -141,6 +153,8 @@ class Process(Event):
     (success, value = the ``return`` value) or raises (failure). Other
     processes may therefore ``yield`` a process to join it.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, engine: "Engine", generator: Generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -232,6 +246,8 @@ class Process(Event):
 class Condition(Event):
     """Composite event over a list of events; see :class:`AllOf`/:class:`AnyOf`."""
 
+    __slots__ = ("_events", "_evaluate", "_count")
+
     def __init__(self, engine: "Engine", events: List[Event],
                  evaluate: Callable[[List[Event], int], bool]):
         super().__init__(engine)
@@ -262,12 +278,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers once *all* constituent events have succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, engine: "Engine", events: List[Event]):
         super().__init__(engine, events, lambda evs, n: n == len(evs))
 
 
 class AnyOf(Condition):
     """Triggers as soon as *any* constituent event succeeds (or one fails)."""
+
+    __slots__ = ()
 
     def __init__(self, engine: "Engine", events: List[Event]):
         super().__init__(engine, events, lambda evs, n: n >= 1)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import TYPE_CHECKING, Any, Deque, List
+from typing import TYPE_CHECKING, Any, Deque, List, Tuple
 
 from ..errors import SimulationError
 from .process import Event
@@ -34,7 +34,7 @@ class Store:
         self.capacity = capacity
         self.items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
-        self._putters: Deque[Event] = deque()  # events carrying ._item
+        self._putters: Deque[Tuple[Event, Any]] = deque()
 
     def __len__(self) -> int:
         return len(self.items)
@@ -46,8 +46,7 @@ class Store:
     def put(self, item: Any) -> Event:
         """Insert *item*; the returned event succeeds once the item is stored."""
         ev = Event(self.engine)
-        ev._item = item
-        self._putters.append(ev)
+        self._putters.append((ev, item))
         self._dispatch()
         return ev
 
@@ -69,8 +68,8 @@ class Store:
     def _dispatch(self) -> None:
         # Admit queued puts while there is room.
         while self._putters and len(self.items) < self.capacity:
-            put_ev = self._putters.popleft()
-            self.items.append(put_ev._item)
+            put_ev, item = self._putters.popleft()
+            self.items.append(item)
             put_ev.succeed()
         # Satisfy queued gets while items exist.
         while self._getters and self.items:
@@ -78,8 +77,8 @@ class Store:
             get_ev.succeed(self.items.popleft())
             # An item left may unblock a putter.
             while self._putters and len(self.items) < self.capacity:
-                put_ev = self._putters.popleft()
-                self.items.append(put_ev._item)
+                put_ev, item = self._putters.popleft()
+                self.items.append(item)
                 put_ev.succeed()
 
 
@@ -96,15 +95,15 @@ class PriorityStore(Store):
 
     def _dispatch(self) -> None:
         while self._putters and len(self.items) < self.capacity:
-            put_ev = self._putters.popleft()
-            heapq.heappush(self.items, put_ev._item)
+            put_ev, item = self._putters.popleft()
+            heapq.heappush(self.items, item)
             put_ev.succeed()
         while self._getters and self.items:
             get_ev = self._getters.popleft()
             get_ev.succeed(heapq.heappop(self.items))
             while self._putters and len(self.items) < self.capacity:
-                put_ev = self._putters.popleft()
-                heapq.heappush(self.items, put_ev._item)
+                put_ev, item = self._putters.popleft()
+                heapq.heappush(self.items, item)
                 put_ev.succeed()
 
     def try_get(self) -> Any:

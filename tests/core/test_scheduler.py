@@ -174,3 +174,63 @@ class TestTokenScheduler:
             return [s.dequeue(0.0).job_id for _ in range(100)]
 
         assert run(42) == run(42)
+
+
+class TestDrawCache:
+    """The cached restricted assignment must be invisible to callers."""
+
+    @staticmethod
+    def _run(cache, seed=9, steps=15000):
+        import random
+
+        s = StatisticalTokenScheduler(
+            Policy.parse("size-fair"), np.random.default_rng(seed),
+            cache_draws=cache)
+        s.on_jobs_changed([job(i, user=f"u{i % 3}", size=(i % 5) + 1)
+                           for i in range(12)], 0.0)
+        workload = random.Random(seed)
+        choices = []
+        for step in range(steps):
+            if workload.random() < 0.55 or not s.queues:
+                # Includes job ids outside the token table (mean share).
+                s.enqueue(Req(workload.randrange(15)), 0.0)
+            else:
+                req = s.dequeue(0.0)
+                choices.append(None if req is None else req.job_id)
+            if step % 4000 == 3999:
+                # Token reallocation mid-run invalidates the cache.
+                s.on_jobs_changed(
+                    [job(i, size=(i % 7) + 1) for i in range(step % 10 + 2)],
+                    0.0)
+        return choices
+
+    def test_cached_and_uncached_sequences_identical(self):
+        # Same RNG seed -> bit-identical choice sequences whether the
+        # restricted assignment is rebuilt per dequeue or served from
+        # the cache.
+        assert self._run(cache=True) == self._run(cache=False)
+
+    def test_cache_hits_dominate_steady_backlog(self):
+        s = make("job-fair")
+        s.on_jobs_changed([job(1), job(2)], 0.0)
+        for _ in range(1000):
+            s.enqueue(Req(1), 0.0)
+            s.enqueue(Req(2), 0.0)
+        for _ in range(1500):
+            s.dequeue(0.0)
+        assert s.cache_hits > 10 * s.cache_misses
+
+    def test_reallocation_invalidates_cache(self):
+        s = make("job-fair")
+        s.on_jobs_changed([job(1), job(2)], 0.0)
+        s.enqueue(Req(1), 0.0)
+        s.enqueue(Req(2), 0.0)
+        s.dequeue(0.0)
+        misses = s.cache_misses
+        s.on_jobs_changed([job(1), job(2), job(3)], 1.0)
+        s.enqueue(Req(1), 0.0)
+        s.enqueue(Req(2), 0.0)
+        s.dequeue(1.0)
+        assert s.cache_misses == misses + 1
+        assert s.current_shares() == pytest.approx(
+            {1: 1 / 3, 2: 1 / 3, 3: 1 / 3})

@@ -1,0 +1,144 @@
+"""Bit-identical equivalence of the optimised arbitration path to the
+seed implementation.
+
+The hot-path overhaul (cached restricted assignments, the fast
+``_from_backlog`` constructor, the bisect search) must not change a
+single scheduling decision: same RNG seed, same request stream, same
+choices. This module freezes the seed revision's ``TokenAssignment`` /
+``StatisticalTokenScheduler`` logic verbatim (numpy-everything, a fresh
+assignment per dequeue) and replays identical workloads through both.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import JobInfo, Policy, StatisticalTokenScheduler
+
+
+class _SeedTokenAssignment:
+    """Verbatim seed-revision TokenAssignment (pre-optimisation)."""
+
+    def __init__(self, shares):
+        items = sorted(shares.items())
+        values = np.array([s for _, s in items], dtype=float)
+        total = values.sum()
+        self.job_ids = [job_id for job_id, _ in items]
+        self.shares = values / total
+        self._cum = np.cumsum(self.shares)
+        self._cum[-1] = 1.0
+        self._index = {job_id: i for i, job_id in enumerate(self.job_ids)}
+
+    def draw(self, u):
+        idx = int(np.searchsorted(self._cum, u, side="right"))
+        return self.job_ids[min(idx, len(self.job_ids) - 1)]
+
+    def share(self, job_id):
+        return float(self.shares[self._index[job_id]])
+
+    def __contains__(self, job_id):
+        return job_id in self._index
+
+    def __len__(self):
+        return len(self.job_ids)
+
+
+class _SeedScheduler:
+    """Verbatim seed-revision statistical token scheduler dequeue logic,
+    over a simple dict-of-lists queue set (sorted() per dequeue, fresh
+    restricted assignment per draw — the pre-PR hot path)."""
+
+    def __init__(self, policy, rng):
+        self.policy = policy
+        self.rng = rng
+        self._queues = {}
+        self.assignment = None
+
+    def enqueue(self, request, now=0.0):
+        self._queues.setdefault(request.job_id, []).append(request)
+
+    def on_jobs_changed(self, active_jobs):
+        shares = self.policy.shares(active_jobs)
+        self.assignment = _SeedTokenAssignment(shares) if shares else None
+
+    def _pop(self, job_id):
+        queue = self._queues[job_id]
+        item = queue.pop(0)
+        if not queue:
+            del self._queues[job_id]
+        return item
+
+    def dequeue(self):
+        if not self._queues:
+            return None
+        backlogged = sorted(self._queues)
+        if self.assignment is None:
+            job_id = backlogged[int(self.rng.integers(0, len(backlogged)))]
+            return self._pop(job_id)
+        mean_share = 1.0 / max(len(self.assignment), 1)
+        shares = {}
+        for job_id in backlogged:
+            if job_id in self.assignment:
+                share = self.assignment.share(job_id)
+                shares[job_id] = share if share > 0 else mean_share
+            else:
+                shares[job_id] = mean_share
+        choice = _SeedTokenAssignment(shares).draw(float(self.rng.random()))
+        return self._pop(choice)
+
+
+class _Req:
+    __slots__ = ("job_id", "cost", "seq")
+
+    def __init__(self, job_id, seq):
+        self.job_id = job_id
+        self.cost = 1.0
+        self.seq = seq
+
+
+def _jobs(n, cycle=5):
+    return [JobInfo(job_id=i, user=f"u{i % 3}", group=f"g{i % 2}",
+                    size=(i % cycle) + 1) for i in range(n)]
+
+
+def _replay(policy_name, seed, steps, make_scheduler, dequeue, jobs_changed):
+    """Drive a scheduler through a deterministic workload; return the
+    (choice, request-seq) trace."""
+    scheduler = make_scheduler(policy_name, seed)
+    jobs_changed(scheduler, _jobs(10))
+    workload = random.Random(seed * 7 + 1)
+    trace = []
+    pending = 0
+    for step in range(steps):
+        if workload.random() < 0.55 or pending == 0:
+            scheduler.enqueue(_Req(workload.randrange(14), step), 0.0)
+            pending += 1
+        else:
+            req = dequeue(scheduler)
+            if req is not None:
+                pending -= 1
+            trace.append(None if req is None else (req.job_id, req.seq))
+        if step % 2500 == 2499:
+            jobs_changed(scheduler, _jobs(step % 8 + 2, cycle=step % 4 + 2))
+    return trace
+
+
+@pytest.mark.parametrize("policy_name", ["job-fair", "size-fair",
+                                         "user-size-fair"])
+@pytest.mark.parametrize("seed", [0, 3])
+def test_optimised_scheduler_matches_seed_implementation(policy_name, seed):
+    """Same seeds -> bit-identical dequeue traces (job AND request
+    identity) between the seed implementation and the optimised one."""
+    seed_trace = _replay(
+        policy_name, seed, 12000,
+        lambda p, s: _SeedScheduler(Policy.parse(p), np.random.default_rng(s)),
+        lambda sch: sch.dequeue(),
+        lambda sch, jobs: sch.on_jobs_changed(jobs))
+    new_trace = _replay(
+        policy_name, seed, 12000,
+        lambda p, s: StatisticalTokenScheduler(Policy.parse(p),
+                                               np.random.default_rng(s)),
+        lambda sch: sch.dequeue(0.0),
+        lambda sch, jobs: sch.on_jobs_changed(jobs, 0.0))
+    assert seed_trace == new_trace

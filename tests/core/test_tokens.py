@@ -97,6 +97,63 @@ class TestRestrict:
         assert a.restrict([]) is None
 
 
+class TestDrawBoundaries:
+    """Edge geometry of the segment search (both search paths)."""
+
+    def test_u_exactly_on_segment_edge_goes_to_next_job(self):
+        # cum boundaries at 0.25 / 0.5 / 0.75: an exact hit belongs to
+        # the following segment ([lo, hi) semantics, side="right").
+        a = TokenAssignment({1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0})
+        assert a.draw(0.25) == 2
+        assert a.draw(0.5) == 3
+        assert a.draw(0.75) == 4
+        # Just below the edge still lands in the earlier segment.
+        assert a.draw(np.nextafter(0.25, 0.0)) == 1
+
+    def test_single_job_assignment_always_wins(self):
+        a = TokenAssignment({7: 3.5})
+        for u in (0.0, 0.3, 0.999999):
+            assert a.draw(u) == 7
+        assert a.segment(7) == (0.0, 1.0)
+
+    def test_zero_share_job_excluded_by_restrict(self):
+        a = TokenAssignment({1: 1.0, 2: 0.0, 3: 1.0})
+        r = a.restrict([1, 2, 3])
+        assert 2 not in r
+        assert r.share(1) == pytest.approx(0.5)
+
+    def test_large_population_uses_numpy_path_consistently(self):
+        # Above SMALL_N_THRESHOLD the numpy search runs; results must
+        # agree with the bisect answer over the same boundaries.
+        from bisect import bisect_right
+
+        from repro.core.tokens import SMALL_N_THRESHOLD
+
+        n = SMALL_N_THRESHOLD + 72
+        a = TokenAssignment({i: float((i % 9) + 1) for i in range(n)})
+        assert not a._small
+        rng = np.random.default_rng(5)
+        for u in rng.random(500):
+            u = float(u)
+            idx = min(bisect_right(a._cum_list, u), n - 1)
+            assert a.draw(u) == a.job_ids[idx]
+
+    def test_fast_constructor_bitwise_equals_dict_constructor(self):
+        from repro.core.tokens import SMALL_N_THRESHOLD
+
+        rng = np.random.default_rng(11)
+        for n in (1, 2, 7, 8, 9, 31, 100, SMALL_N_THRESHOLD,
+                  SMALL_N_THRESHOLD + 10):
+            ids = sorted(int(j) for j in
+                         rng.choice(10 * n, size=n, replace=False))
+            vals = [float(v) + 1e-9 for v in rng.random(n)]
+            a = TokenAssignment(dict(zip(ids, vals)))
+            b = TokenAssignment._from_backlog(ids, vals)
+            assert a.job_ids == b.job_ids
+            assert a._cum_list == b._cum_list        # bitwise, no approx
+            assert a._shares_list == b._shares_list  # bitwise, no approx
+
+
 @settings(max_examples=60)
 @given(st.dictionaries(st.integers(0, 50),
                        st.floats(0.01, 100.0),

@@ -50,6 +50,76 @@ class TestRangeLocks:
             t.try_lock_write(1, -1, 10, "a")
 
 
+class _Waiter:
+    """Stand-in for a sim Event: records wake order."""
+
+    log = None  # shared per-test list, set by the test
+
+    def __init__(self, name):
+        self.name = name
+        self.woken = False
+
+    def succeed(self):
+        self.woken = True
+        _Waiter.log.append(self.name)
+
+
+class TestWaiterQueues:
+    """Event-driven lock wakeups: releases wake parked waiters (FIFO)."""
+
+    def setup_method(self):
+        _Waiter.log = []
+
+    def test_release_wakes_all_waiters_in_fifo_order(self):
+        t = RangeLockTable()
+        t.try_lock_write(1, 0, 100, "holder")
+        a, b = _Waiter("a"), _Waiter("b")
+        t.wait(1, a)
+        t.wait(1, b)
+        assert t.waiters(1) == 2
+        t.unlock_write(1, "holder")
+        assert _Waiter.log == ["a", "b"]
+        assert t.waiters(1) == 0
+
+    def test_registration_is_one_shot(self):
+        # A woken waiter is gone; the next release must not touch it.
+        t = RangeLockTable()
+        t.try_lock_write(1, 0, 10, "h1")
+        w = _Waiter("w")
+        t.wait(1, w)
+        t.unlock_write(1, "h1")
+        t.try_lock_write(1, 0, 10, "h2")
+        t.unlock_write(1, "h2")
+        assert _Waiter.log == ["w"]  # woken exactly once
+
+    def test_no_wake_without_release(self):
+        t = RangeLockTable()
+        t.try_lock_write(1, 0, 10, "h")
+        t.wait(1, _Waiter("w"))
+        # unlock on an inode with no held locks releases nothing.
+        assert t.unlock_write(1, "someone-else") == 0
+        assert _Waiter.log == []
+
+    def test_wakeups_scoped_to_inode(self):
+        t = RangeLockTable()
+        t.try_lock_write(1, 0, 10, "h1")
+        t.try_lock_write(2, 0, 10, "h2")
+        t.wait(1, _Waiter("on-1"))
+        t.wait(2, _Waiter("on-2"))
+        t.unlock_write(2, "h2")
+        assert _Waiter.log == ["on-2"]
+        assert t.waiters(1) == 1
+
+    def test_metadata_unlock_wakes_waiters(self):
+        t = MetadataLockTable()
+        t.try_lock(7, "owner")
+        w = _Waiter("m")
+        t.wait(7, w)
+        t.unlock(7, "owner")
+        assert w.woken
+        assert t.try_lock(7, "w")  # lock is free for the woken waiter
+
+
 class TestMetadataLocks:
     def test_exclusive(self):
         t = MetadataLockTable()

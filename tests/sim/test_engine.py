@@ -161,6 +161,20 @@ def test_every_rejects_nonpositive_interval():
         eng.every(0.0, lambda: None)
 
 
+def test_every_rejects_negative_start_delay():
+    eng = Engine()
+    with pytest.raises(SimulationError, match="start_delay"):
+        eng.every(1.0, lambda: None, start_delay=-1.0)
+
+
+def test_every_zero_start_delay_fires_immediately():
+    eng = Engine()
+    ticks = []
+    eng.every(2.0, lambda: ticks.append(eng.now), start_delay=0.0)
+    eng.run(until=5.0)
+    assert ticks == [pytest.approx(0.0), pytest.approx(2.0), pytest.approx(4.0)]
+
+
 def test_unhandled_process_exception_propagates():
     eng = Engine()
 
