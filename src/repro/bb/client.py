@@ -17,13 +17,15 @@ All operations are simulation generators: drive them with
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from ..core.jobinfo import JobInfo
-from ..errors import ConfigError, FileNotFound
+from ..errors import ConfigError, FileNotFound, RpcTimeout
 from ..fs.filesystem import ThemisFS
 from ..fs.striping import map_range
+from ..metrics.faultstats import FaultStats
 from ..net.fabric import Fabric
 from ..sim.process import Event
 from ..ucx import Address, RpcClient, UCPContext
@@ -45,12 +47,27 @@ class ClientConfig:
     #: in the paper does (§5.1).
     cache_bytes: int = 0
     cache_block: int = 1 << 20
+    #: per-RPC timeout in seconds; 0 disables the fault-tolerant path
+    #: entirely (requests wait forever, exactly the original behaviour —
+    #: and the original event traces, bit for bit).
+    rpc_timeout: float = 0.0
+    #: retry budget per logical request; negative = retry forever.
+    rpc_retries: int = -1
+    #: first retry backoff in seconds (doubles per retry, plus jitter).
+    retry_backoff: float = 0.05
+    #: backoff growth cap in seconds.
+    retry_backoff_max: float = 1.0
 
     def __post_init__(self):
         if self.heartbeat_interval <= 0:
             raise ConfigError("heartbeat_interval must be positive")
         if self.cache_bytes < 0:
             raise ConfigError("cache_bytes must be >= 0")
+        if self.rpc_timeout < 0:
+            raise ConfigError("rpc_timeout must be >= 0")
+        if self.retry_backoff <= 0 or self.retry_backoff_max < self.retry_backoff:
+            raise ConfigError(
+                "need 0 < retry_backoff <= retry_backoff_max")
 
 
 class Client:
@@ -59,7 +76,8 @@ class Client:
     def __init__(self, engine: "Engine", fabric: Fabric, node_name: str,
                  client_id: str, job: JobInfo, fs: ThemisFS,
                  server_ctl: Dict[str, Address],
-                 config: Optional[ClientConfig] = None):
+                 config: Optional[ClientConfig] = None,
+                 rng=None, fault_stats: Optional[FaultStats] = None):
         self.engine = engine
         self.client_id = client_id
         self.job = job
@@ -76,6 +94,11 @@ class Client:
         self.cache = (ClientCache(self.config.cache_bytes,
                                   self.config.cache_block)
                       if self.config.cache_bytes > 0 else None)
+        #: fault tolerance on? (timeout + retry + failover + req ids)
+        self._ft = self.config.rpc_timeout > 0
+        self._rng = rng  # jitter source (optional; None = no jitter)
+        self.stats = fault_stats if fault_stats is not None else FaultStats()
+        self._req_seq = itertools.count(1)
 
     # ------------------------------------------------------------ connection
     def _ctl_client(self, server: str) -> RpcClient:
@@ -101,10 +124,22 @@ class Client:
             return self._io[server]
         pending = Event(self.engine)
         self._io_pending[server] = pending
-        resp = yield self._ctl_client(server).call(
-            "register",
-            {"kind": "register", "client_id": self.client_id, "job": self.job},
-            size=_HEADER_BYTES)
+        try:
+            if self._ft:
+                resp = yield from self._register_ft(server)
+            else:
+                resp = yield self._ctl_client(server).call(
+                    "register",
+                    {"kind": "register", "client_id": self.client_id,
+                     "job": self.job},
+                    size=_HEADER_BYTES)
+        except BaseException:
+            # Registration gave up (bounded retry budget): unblock any
+            # ops sharing this registration with the same failure.
+            del self._io_pending[server]
+            pending.defuse()
+            pending.fail(RpcTimeout(f"registration with {server} failed"))
+            raise
         worker = self.ctx.create_worker(f"io-{server}")
         server_node = self._server_ctl[server][0]
         client = RpcClient(worker, (server_node, resp["io_worker"]))
@@ -114,6 +149,85 @@ class Client:
         if self._heartbeat_proc is None:
             self._heartbeat_proc = self.engine.process(self._heartbeat_loop())
         return client
+
+    def _register_ft(self, server: str):
+        """Generator: register with *server*, retrying through outages."""
+        cfg = self.config
+        delay = cfg.retry_backoff
+        attempt = 0
+        while True:
+            call = self._ctl_client(server).call(
+                "register",
+                {"kind": "register", "client_id": self.client_id,
+                 "job": self.job},
+                size=_HEADER_BYTES, timeout=cfg.rpc_timeout)
+            try:
+                return (yield call)
+            except RpcTimeout:
+                self.stats.rpc_timeouts += 1
+                attempt += 1
+                if 0 <= cfg.rpc_retries < attempt:
+                    self.stats.requests_failed += 1
+                    raise
+                self.stats.retries += 1
+                yield self.engine.timeout(delay + self._jitter(delay))
+                delay = min(delay * 2, cfg.retry_backoff_max)
+
+    def _jitter(self, delay: float) -> float:
+        """Up to 10% extra backoff from the client's rng stream (0 if
+        no rng was supplied); keeps retry storms de-synchronised while
+        staying deterministic per seed."""
+        if self._rng is None:
+            return 0.0
+        return float(self._rng.random()) * delay * 0.1
+
+    def _failover(self, server: str) -> None:
+        """Tear down the IO connection to *server*; the next request
+        re-registers (the server may assign a different pool worker)."""
+        client = self._io.pop(server, None)
+        if client is None:
+            return
+        self.stats.failovers += 1
+        client.worker.close()
+
+    def _next_req_id(self) -> str:
+        """A fresh idempotency id, reused verbatim across retries."""
+        return f"{self.client_id}#{next(self._req_seq)}"
+
+    def _request(self, server: str, body: Dict[str, Any], wire_size: int):
+        """Generator: deliver one idempotent request, retrying with
+        exponential backoff + jitter through timeouts, error replies,
+        and server restarts. *body* carries a ``req_id`` so the server
+        deduplicates retries that raced a slow original.
+        """
+        cfg = self.config
+        delay = cfg.retry_backoff
+        attempt = 0
+        last_error = "timeout"
+        while True:
+            client = yield from self._ensure_io(server)
+            call = client.call("io", body, size=wire_size,
+                               timeout=cfg.rpc_timeout)
+            try:
+                resp = yield call
+            except RpcTimeout:
+                self.stats.rpc_timeouts += 1
+                self._failover(server)
+                resp = None
+                last_error = "timeout"
+            if resp is not None:
+                if resp.get("ok", True):
+                    return resp
+                last_error = resp.get("error", "EIO")
+            attempt += 1
+            if 0 <= cfg.rpc_retries < attempt:
+                self.stats.requests_failed += 1
+                raise RpcTimeout(
+                    f"request to {server} abandoned after {attempt} "
+                    f"attempts (last error: {last_error})")
+            self.stats.retries += 1
+            yield self.engine.timeout(delay + self._jitter(delay))
+            delay = min(delay * 2, cfg.retry_backoff_max)
 
     def register_all(self):
         """Generator: eagerly register with every known server."""
@@ -125,6 +239,16 @@ class Client:
             yield self.engine.timeout(self.config.heartbeat_interval)
             if self.closed:
                 return
+            if self._ft:
+                # Fire-and-forget with a timeout: a dead server must not
+                # stall the beats that keep live servers' tables warm.
+                for server in sorted(self._io):
+                    self._ctl_client(server).call(
+                        "heartbeat",
+                        {"kind": "heartbeat", "client_id": self.client_id,
+                         "job": self.job},
+                        size=_HEADER_BYTES, timeout=self.config.rpc_timeout)
+                continue
             calls = [
                 self._ctl_client(server).call(
                     "heartbeat",
@@ -139,6 +263,20 @@ class Client:
     def goodbye(self):
         """Generator: notify every registered server, stop heartbeats."""
         self.closed = True
+        if self._ft:
+            # Best-effort farewell: a crashed server will expire us via
+            # heartbeats instead; don't block shutdown on it.
+            for server in sorted(self._io):
+                call = self._ctl_client(server).call(
+                    "goodbye",
+                    {"kind": "goodbye", "client_id": self.client_id,
+                     "job": self.job},
+                    size=_HEADER_BYTES, timeout=self.config.rpc_timeout)
+                try:
+                    yield call
+                except RpcTimeout:
+                    self.stats.rpc_timeouts += 1
+            return
         calls = [
             self._ctl_client(server).call(
                 "goodbye",
@@ -150,20 +288,55 @@ class Client:
         if calls:
             yield self.engine.all_of(calls)
 
+    def disconnect(self) -> None:
+        """Abrupt exit (fault injection): stop all traffic with no
+        goodbye; servers notice via heartbeat expiry and clean up."""
+        self.closed = True
+        self.stats.client_disconnects += 1
+
     # ------------------------------------------------------------------- I/O
     def _io_call(self, server: str, op: str, path: str, offset: int = 0,
                  size: int = 0, payload: Optional[bytes] = None,
                  wire: Optional[int] = None):
         """Generator: one request/response against *server*."""
-        client = yield from self._ensure_io(server)
-        call = client.call(
-            "io",
-            {"op": op, "path": path, "offset": offset, "size": size,
-             "payload": payload, "client_id": self.client_id, "job": self.job},
-            size=_HEADER_BYTES + (wire if wire is not None else 0))
-        resp = yield call
+        body = {"op": op, "path": path, "offset": offset, "size": size,
+                "payload": payload, "client_id": self.client_id,
+                "job": self.job}
+        wire_size = _HEADER_BYTES + (wire if wire is not None else 0)
+        if self._ft:
+            body["req_id"] = self._next_req_id()
+            resp = yield from self._request(server, body, wire_size)
+        else:
+            client = yield from self._ensure_io(server)
+            resp = yield client.call("io", body, size=wire_size)
         self.ops_completed += 1
         return resp
+
+    def _require_inode(self, path: str):
+        """Generator: the inode of *path*; raises FileNotFound if absent.
+
+        In fault-tolerant mode a miss is retried with backoff: the
+        metadata may live on a crashed server and reappear once journal
+        replay recovers it.
+        """
+        inode = self.fs.lookup(path)
+        if inode is not None:
+            return inode
+        if not self._ft:
+            raise FileNotFound(path)
+        cfg = self.config
+        delay = cfg.retry_backoff
+        attempt = 0
+        while inode is None:
+            attempt += 1
+            if 0 <= cfg.rpc_retries < attempt:
+                self.stats.requests_failed += 1
+                raise FileNotFound(path)
+            self.stats.retries += 1
+            yield self.engine.timeout(delay + self._jitter(delay))
+            delay = min(delay * 2, cfg.retry_backoff_max)
+            inode = self.fs.lookup(path)
+        return inode
 
     def create(self, path: str):
         """Generator: create-or-open *path* (metadata server handles it)."""
@@ -200,9 +373,7 @@ class Client:
         accounted but bytes are not materialised; with *payload* real
         bytes go to the exact chunks (verification paths).
         """
-        inode = self.fs.lookup(path)
-        if inode is None:
-            raise FileNotFound(path)
+        inode = yield from self._require_inode(path)
         if self.cache is not None:
             self.cache.invalidate(path, offset, size)
         if payload is not None:
@@ -213,14 +384,23 @@ class Client:
                               payload[lo:lo + piece.length]))
             total = 0
             pending = []
-            for server, s_off, s_len, chunk in calls:
-                client = yield from self._ensure_io(server)
-                pending.append(client.call(
-                    "io",
-                    {"op": "write", "path": path, "offset": s_off,
-                     "size": s_len, "payload": chunk,
-                     "client_id": self.client_id, "job": self.job},
-                    size=_HEADER_BYTES + s_len))
+            if self._ft:
+                for server, s_off, s_len, chunk in calls:
+                    body = {"op": "write", "path": path, "offset": s_off,
+                            "size": s_len, "payload": chunk,
+                            "client_id": self.client_id, "job": self.job,
+                            "req_id": self._next_req_id()}
+                    pending.append(self.engine.process(self._request(
+                        server, body, _HEADER_BYTES + s_len)))
+            else:
+                for server, s_off, s_len, chunk in calls:
+                    client = yield from self._ensure_io(server)
+                    pending.append(client.call(
+                        "io",
+                        {"op": "write", "path": path, "offset": s_off,
+                         "size": s_len, "payload": chunk,
+                         "client_id": self.client_id, "job": self.job},
+                        size=_HEADER_BYTES + s_len))
             results = yield self.engine.all_of(pending)
             total = sum(r["bytes"] for r in results)
             self.ops_completed += 1
@@ -228,17 +408,30 @@ class Client:
 
         per_server = self._split(inode, offset, size)
         pending = []
-        for server, (first_offset, nbytes) in sorted(per_server.items()):
-            client = yield from self._ensure_io(server)
-            pending.append(client.call(
-                "io",
-                {"op": "write", "path": path, "offset": first_offset,
-                 "size": nbytes, "payload": None,
-                 "client_id": self.client_id, "job": self.job},
-                size=_HEADER_BYTES + nbytes))
+        if self._ft:
+            for server, (first_offset, nbytes) in sorted(per_server.items()):
+                body = {"op": "write", "path": path, "offset": first_offset,
+                        "size": nbytes, "payload": None,
+                        "client_id": self.client_id, "job": self.job,
+                        "req_id": self._next_req_id()}
+                pending.append(self.engine.process(self._request(
+                    server, body, _HEADER_BYTES + nbytes)))
+        else:
+            for server, (first_offset, nbytes) in sorted(per_server.items()):
+                client = yield from self._ensure_io(server)
+                pending.append(client.call(
+                    "io",
+                    {"op": "write", "path": path, "offset": first_offset,
+                     "size": nbytes, "payload": None,
+                     "client_id": self.client_id, "job": self.job},
+                    size=_HEADER_BYTES + nbytes))
         results = yield self.engine.all_of(pending)
         # Accounting writes extend per-server; make sure the logical end
-        # is visible even if this server's last slice ends earlier.
+        # is visible even if this server's last slice ends earlier. (In
+        # fault-tolerant mode re-resolve: recovery may have rebuilt the
+        # inode object while our slices were retrying.)
+        if self._ft:
+            inode = self.fs.lookup(path) or inode
         if inode.size < offset + size:
             inode.size = offset + size
         self.ops_completed += 1
@@ -246,9 +439,7 @@ class Client:
 
     def read(self, path: str, offset: int, size: int) -> int:
         """Generator: read up to *size* bytes at *offset*; returns bytes read."""
-        inode = self.fs.lookup(path)
-        if inode is None:
-            raise FileNotFound(path)
+        inode = yield from self._require_inode(path)
         avail = max(0, min(size, inode.size - offset))
         if avail == 0:
             return 0
@@ -257,14 +448,23 @@ class Client:
             return avail  # served locally, no server round trip
         per_server = self._split(inode, offset, avail)
         pending = []
-        for server, (first_offset, nbytes) in sorted(per_server.items()):
-            client = yield from self._ensure_io(server)
-            pending.append(client.call(
-                "io",
-                {"op": "read", "path": path, "offset": first_offset,
-                 "size": nbytes, "payload": None,
-                 "client_id": self.client_id, "job": self.job},
-                size=_HEADER_BYTES))
+        if self._ft:
+            for server, (first_offset, nbytes) in sorted(per_server.items()):
+                body = {"op": "read", "path": path, "offset": first_offset,
+                        "size": nbytes, "payload": None,
+                        "client_id": self.client_id, "job": self.job,
+                        "req_id": self._next_req_id()}
+                pending.append(self.engine.process(self._request(
+                    server, body, _HEADER_BYTES)))
+        else:
+            for server, (first_offset, nbytes) in sorted(per_server.items()):
+                client = yield from self._ensure_io(server)
+                pending.append(client.call(
+                    "io",
+                    {"op": "read", "path": path, "offset": first_offset,
+                     "size": nbytes, "payload": None,
+                     "client_id": self.client_id, "job": self.job},
+                    size=_HEADER_BYTES))
         results = yield self.engine.all_of(pending)
         self.ops_completed += 1
         if self.cache is not None:

@@ -23,6 +23,8 @@ from ..core.scheduler import Scheduler, StatisticalTokenScheduler
 from ..errors import ConfigError
 from ..core.jobinfo import JobInfo
 from ..fs.filesystem import ThemisFS
+from ..fs.journal import JournaledFS
+from ..metrics.faultstats import FaultStats
 from ..metrics.sampler import ThroughputSampler
 from ..net.fabric import Fabric
 from ..sim.engine import Engine
@@ -46,6 +48,10 @@ class ClusterConfig:
     stripe_size: int = MiB
     stripe_count: int = 1                # servers per file by default
     storage_backend: str = "extent"      # or "log" (§7 future-work design)
+    #: journal namespace mutations (JournaledFS) so crashed servers can
+    #: rebuild their metadata; combine with storage_backend="log" for
+    #: full crash durability of acknowledged writes.
+    journal: bool = False
     fabric_latency: float = 2 * USEC
     link_bandwidth: float = 25 * GB
     seed: int = 0
@@ -90,20 +96,23 @@ class Cluster:
                              latency=self.config.fabric_latency,
                              link_bandwidth=self.config.link_bandwidth)
         self.sampler = ThroughputSampler()
+        self.fault_stats = FaultStats()
         server_names = [f"bb{i}" for i in range(self.config.n_servers)]
-        self.fs = ThemisFS(server_names,
-                           capacity_per_server=self.config.capacity_per_server,
-                           stripe_size=self.config.stripe_size,
-                           default_stripe_count=self.config.stripe_count,
-                           clock=lambda: self.engine.now,
-                           storage_backend=self.config.storage_backend)
+        fs_cls = JournaledFS if self.config.journal else ThemisFS
+        self.fs = fs_cls(server_names,
+                         capacity_per_server=self.config.capacity_per_server,
+                         stripe_size=self.config.stripe_size,
+                         default_stripe_count=self.config.stripe_count,
+                         clock=lambda: self.engine.now,
+                         storage_backend=self.config.storage_backend)
         self.servers: Dict[str, Server] = {}
         for name in server_names:
             scheduler = make_scheduler(
                 self.config, name, self.rng.stream(f"sched.{name}"))
             self.servers[name] = Server(
                 self.engine, self.fabric, name, self.fs, scheduler,
-                config=self.config.server, sampler=self.sampler)
+                config=self.config.server, sampler=self.sampler,
+                fault_stats=self.fault_stats)
         # λ-delayed fairness wiring (no-op for a single server).
         sync_addresses = {name: server.sync_address
                           for name, server in self.servers.items()}
@@ -111,6 +120,7 @@ class Cluster:
             for server in self.servers.values():
                 server.connect_peers(sync_addresses)
         self._client_seq = 0
+        self.clients: Dict[str, Client] = {}
 
     # ---------------------------------------------------------------- clients
     def add_client(self, job: JobInfo,
@@ -121,8 +131,22 @@ class Cluster:
         node_name = f"cn-{client_id}"
         ctl_addresses = {name: (name, Server.CTL_WORKER)
                          for name in self.servers}
-        return Client(self.engine, self.fabric, node_name, client_id, job,
-                      self.fs, ctl_addresses, config=self.config.client)
+        rng = (self.rng.stream(f"client.{client_id}")
+               if self.config.client.rpc_timeout > 0 else None)
+        client = Client(self.engine, self.fabric, node_name, client_id, job,
+                        self.fs, ctl_addresses, config=self.config.client,
+                        rng=rng, fault_stats=self.fault_stats)
+        self.clients[client_id] = client
+        return client
+
+    # ----------------------------------------------------------- fault model
+    def crash_server(self, name: str) -> None:
+        """Fail-stop server *name* now (see :meth:`Server.crash`)."""
+        self.servers[name].crash()
+
+    def restart_server(self, name: str) -> None:
+        """Recover server *name* now (see :meth:`Server.restart`)."""
+        self.servers[name].restart()
 
     # ------------------------------------------------------------------- run
     def run(self, until: Optional[float] = None) -> None:

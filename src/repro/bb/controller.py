@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Set
 
 from ..core.fairness import placement_shares
+from ..errors import RpcTimeout
 from ..ucx import Address, RpcClient
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,7 +50,18 @@ class Controller:
         self._table_version_seen = -1
         self._presence_seen: Dict[str, frozenset] = {}
         self.sync_rounds = 0
+        #: rounds completed on a partial table (some peer timed out).
+        self.degraded_rounds = 0
         self._sync_process = None
+
+    def reset(self) -> None:
+        """Forget peer-derived state (server crash): presence knowledge
+        and the refresh memo restart cold. Peer RPC clients stay wired —
+        the endpoints are addresses, not connections, and the λ loop
+        resumes using them after restart."""
+        self.presence.clear()
+        self._table_version_seen = -1
+        self._presence_seen = {}
 
     # ---------------------------------------------------------------- tokens
     def refresh_tokens(self, force: bool = False) -> bool:
@@ -117,25 +129,57 @@ class Controller:
         engine = self.server.engine
         while True:
             yield engine.timeout(self.sync_interval)
+            if self.server.crashed:
+                # A crashed server exchanges nothing; the loop idles
+                # until restart and then resumes the λ cadence.
+                continue
             table = self.server.monitor.table
             payload = self._payload()
             size = _ENTRY_WIRE_BYTES * max(1, len(payload["entries"]))
-            calls = [client.call("sync", payload, size=size)
-                     for client in self._peers.values()]
-            responses = yield engine.all_of(calls)
-            for resp in responses:
-                table.merge(resp["entries"])
-                self.presence[resp["host"]] = set(resp["host_jobs"])
+            timeout = self.server.config.sync_timeout
+            if timeout <= 0:
+                # Lock-step all-gather (original behaviour, byte-
+                # identical traces when timeouts are disabled).
+                calls = [client.call("sync", payload, size=size)
+                         for client in self._peers.values()]
+                responses = yield engine.all_of(calls)
+                for resp in responses:
+                    table.merge(resp["entries"])
+                    self.presence[resp["host"]] = set(resp["host_jobs"])
+            else:
+                # Per-peer timeout: issue every exchange up front, then
+                # harvest; a silent peer costs at most `timeout` and the
+                # round proceeds on the partial table (degraded mode).
+                calls = [(name, client.call("sync", payload, size=size,
+                                            timeout=timeout))
+                         for name, client in sorted(self._peers.items())]
+                degraded = False
+                for name, call in calls:
+                    try:
+                        resp = yield call
+                    except RpcTimeout:
+                        degraded = True
+                        continue
+                    table.merge(resp["entries"])
+                    self.presence[resp["host"]] = set(resp["host_jobs"])
+                if degraded:
+                    self.degraded_rounds += 1
+                    if self.server.fault_stats is not None:
+                        self.server.fault_stats.degraded_sync_rounds += 1
             self.sync_rounds += 1
             self.refresh_tokens()
 
     def handle_sync(self, rpc) -> None:
         """Peer pushed its snapshot: merge and reply after the controller's
         processing time (serialisation + merge cost, §5.6)."""
+        if self.server.crashed:
+            return  # a dead server neither merges nor answers
         def respond():
             processing = self.server.config.sync_processing_time
             if processing > 0:
                 yield self.server.engine.timeout(processing)
+            if self.server.crashed:
+                return  # crashed mid-processing: stale merge + reply lost
             table = self.server.monitor.table
             table.merge(rpc.body["entries"])
             self.presence[rpc.body["host"]] = set(rpc.body["host_jobs"])

@@ -52,6 +52,14 @@ class JobMonitor:
         """Refresh a job's liveness (observe covers unknown jobs too)."""
         self.observe(info, client_id)
 
+    def reset(self) -> None:
+        """Forget everything (server crash): the job table, client→job
+        mappings, and placement knowledge all restart empty. The expiry
+        loop keeps running — an empty table expires nothing."""
+        self.table = JobStatusTable(self.table.heartbeat_timeout)
+        self._client_job.clear()
+        self.local_jobs.clear()
+
     def client_exit(self, client_id: str) -> Optional[int]:
         """Forget a client; returns its job id if it was known."""
         return self._client_job.pop(client_id, None)

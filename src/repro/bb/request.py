@@ -53,6 +53,12 @@ class IORequest:
     rpc: Any = None               # RpcRequest to reply on (None in unit tests)
     arrival: float = 0.0
     req_id: int = field(default_factory=lambda: next(_req_ids))
+    #: client-issued idempotency id ("{client_id}#{seq}"); reused across
+    #: retries so the server can deduplicate. None for legacy clients.
+    client_req_id: Optional[str] = None
+    #: failure the worker hit applying this request (reported in the
+    #: reply as ok=False); None on success.
+    error: Optional[Exception] = None
 
     def __post_init__(self):
         if self.size < 0 or self.offset < 0:

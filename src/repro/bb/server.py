@@ -17,13 +17,16 @@ scheduler or any comparator (FIFO / GIFT / TBF).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Tuple)
 
 from ..core.jobinfo import JobInfo
 from ..core.scheduler import Scheduler
 from ..errors import ConfigError
 from ..fs.filesystem import ThemisFS
+from ..metrics.faultstats import FaultStats
 from ..metrics.sampler import ThroughputSampler
 from ..net.fabric import Fabric
 from ..sim.process import Event
@@ -63,6 +66,12 @@ class ServerConfig:
     #: cannot speed convergence up further.
     sync_processing_time: float = 0.035
     client_pool_workers: int = 4      # UCP workers shared among clients
+    #: per-peer λ-sync RPC timeout; a peer that does not answer within
+    #: this window is skipped and the round proceeds on the partial
+    #: table (degraded mode). 0 disables timeouts: the all-gather is the
+    #: original lock-step exchange, which a dead peer would wedge — keep
+    #: it 0 only for runs that never crash servers.
+    sync_timeout: float = 0.0
 
     def __post_init__(self):
         if self.bandwidth <= 0 or self.n_workers < 1:
@@ -77,16 +86,48 @@ class Server:
     #: worker name clients address their register/heartbeat traffic to.
     CTL_WORKER = "ctl"
 
+    #: completed replies remembered per client request id (idempotency).
+    _REQ_CACHE_MAX = 1024
+
     def __init__(self, engine: "Engine", fabric: Fabric, name: str,
                  fs: ThemisFS, scheduler: Scheduler,
                  config: Optional[ServerConfig] = None,
-                 sampler: Optional[ThroughputSampler] = None):
+                 sampler: Optional[ThroughputSampler] = None,
+                 fault_stats: Optional[FaultStats] = None):
         self.engine = engine
+        self.fabric = fabric
         self.name = name
         self.fs = fs
         self.scheduler = scheduler
         self.config = config or ServerConfig()
         self.sampler = sampler if sampler is not None else ThroughputSampler()
+        self.fault_stats = fault_stats
+
+        # --- crash/restart lifecycle state -----------------------------
+        self.crashed = False
+        #: bumped on every crash; workers snapshot it per request and
+        #: abandon work that straddles a crash.
+        self.crash_epoch = 0
+        self.crashes = 0
+        self.recoveries = 0
+        self.crashed_at: Optional[float] = None
+        self.restarted_at: Optional[float] = None
+        #: time of the first request served after the latest restart
+        #: (recovery-time metric); None until it happens.
+        self.first_completion_after_restart: Optional[float] = None
+        self.last_recovery: Optional[Dict[str, Any]] = None
+        self._restart_waiters: List[Event] = []
+        #: fault-injection hook: called per request before the FS op;
+        #: returns an exception to fail the op with, or None.
+        self.storage_fault: Optional[
+            Callable[[IORequest, float], Optional[Exception]]] = None
+        self.requests_dropped_in_crash = 0
+        self.duplicate_requests = 0
+        # Idempotency: completed replies by client request id (LRU) plus
+        # the ids currently being serviced (duplicates of those are
+        # dropped; the original's reply answers the retry too).
+        self._req_cache: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._inflight_req: set = set()
 
         self.ctx = UCPContext(engine, fabric, name)
         self.monitor = JobMonitor(
@@ -148,6 +189,26 @@ class Server:
     def _on_request(self, rpc: RpcRequest) -> None:
         """An I/O request arrived on a pool worker."""
         body = rpc.body
+        creq = body.get("req_id")
+        if creq is not None:
+            cached = self._req_cache.get(creq)
+            if cached is not None:
+                # Retry of an already-completed request: replay the
+                # stored reply instead of re-executing (idempotency).
+                self._req_cache.move_to_end(creq)
+                self.duplicate_requests += 1
+                if self.fault_stats is not None:
+                    self.fault_stats.duplicate_requests += 1
+                rpc.reply(cached[0], size=cached[1])
+                return
+            if creq in self._inflight_req:
+                # Retry raced the original, which is still being
+                # serviced; its eventual reply answers this retry too.
+                self.duplicate_requests += 1
+                if self.fault_stats is not None:
+                    self.fault_stats.duplicate_requests += 1
+                return
+            self._inflight_req.add(creq)
         info: JobInfo = body["job"]
         changed = self.monitor.observe(info, body.get("client_id", ""))
         if changed:
@@ -162,9 +223,26 @@ class Server:
             payload=body.get("payload"),
             rpc=rpc,
             arrival=self.engine.now,
+            client_req_id=creq,
         )
         self.scheduler.enqueue(request, self.engine.now)
         self._notify_work()
+
+    def cache_reply(self, req_id: str, body: Any, size: int) -> None:
+        """Remember a completed reply for client request id *req_id*."""
+        self._inflight_req.discard(req_id)
+        self._req_cache[req_id] = (body, size)
+        if len(self._req_cache) > self._REQ_CACHE_MAX:
+            self._req_cache.popitem(last=False)
+
+    def forget_request(self, req_id: str) -> None:
+        """Drop a request id without caching its reply.
+
+        Used for error replies: the request was *not* applied, so a
+        client retry must re-execute it rather than replay the failure
+        (a cached EIO would otherwise outlive the fault that caused it).
+        """
+        self._inflight_req.discard(req_id)
 
     def _on_control(self, rpc: RpcRequest) -> None:
         """register / heartbeat / goodbye traffic."""
@@ -202,6 +280,82 @@ class Server:
             for client_id in clients:
                 self.monitor.client_exit(client_id)
         self.controller.refresh_tokens()
+
+    # ----------------------------------------------------------- crash model
+    def crash(self) -> None:
+        """Fail-stop this server: every volatile structure is lost.
+
+        The node stops transmitting and receiving, queued requests
+        vanish, the reply cache / client mappings / job table / peer
+        knowledge are wiped, locks are released (waiters wake and
+        observe the crash), and the file system loses whatever its
+        backend loses (:meth:`ThemisFS.crash_node`). Clients see only
+        silence and recover via timeout + retry. Idempotent while down.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_epoch += 1
+        self.crashes += 1
+        self.crashed_at = self.engine.now
+        if self.fault_stats is not None:
+            self.fault_stats.server_crashes += 1
+        self.ctx.down = True
+        self.fabric.set_node_down(self.name)
+        dropped = self.scheduler.drain()
+        self.requests_dropped_in_crash += len(dropped)
+        if self.fault_stats is not None:
+            self.fault_stats.requests_dropped_in_crash += len(dropped)
+        self._req_cache.clear()
+        self._inflight_req.clear()
+        self.pool.release_many(self.pool.mapped_clients)
+        self.monitor.reset()
+        self.controller.reset()
+        if hasattr(self.fs, "crash_node"):
+            self.fs.crash_node(self.name)
+        # Wake idle workers so they observe the crash and park on the
+        # restart event instead of the (now meaningless) work event.
+        self._notify_work()
+
+    def restart(self) -> None:
+        """Recover and rejoin: rebuild storage state, resume service.
+
+        Runs :meth:`ThemisFS.recover_node` (journal replay + log-segment
+        scan when those layers are configured), clears the down flags,
+        recomputes tokens from the empty-but-alive table, and wakes the
+        workers. Clients re-register on their next retry; peers re-merge
+        this server's table at their next λ-sync round.
+        """
+        if not self.crashed:
+            return
+        if hasattr(self.fs, "recover_node"):
+            self.last_recovery = self.fs.recover_node(self.name)
+        self.crashed = False
+        self.recoveries += 1
+        self.restarted_at = self.engine.now
+        self.first_completion_after_restart = None
+        if self.fault_stats is not None:
+            self.fault_stats.server_recoveries += 1
+        self.ctx.down = False
+        self.fabric.set_node_down(self.name, down=False)
+        self.controller.refresh_tokens(force=True)
+        waiters, self._restart_waiters = self._restart_waiters, []
+        for ev in waiters:
+            ev.succeed()
+        self._notify_work()
+
+    def restart_event(self) -> Event:
+        """Event a worker parks on while the server is crashed.
+
+        Fires at the next :meth:`restart`; already-succeeded if the
+        server is currently up.
+        """
+        ev = Event(self.engine)
+        if not self.crashed:
+            ev.succeed()
+            return ev
+        self._restart_waiters.append(ev)
+        return ev
 
     # ------------------------------------------------------------------ intro
     def connect_peers(self, peers: Dict[str, Address]) -> None:

@@ -39,6 +39,8 @@ class IOWorker:
         self.served_bytes = 0
         self.idle_cycles = 0
         self.lock_waits = 0
+        self.throttle_waits = 0  # parks with backlog but no wake time
+        self.abandoned = 0       # requests dropped mid-service by a crash
         self.locked_ino = None   # range-locked inode during a write
         self.locked_meta = None  # metadata-locked parent during namespace ops
         self.process = server.engine.process(self._loop())
@@ -49,6 +51,9 @@ class IOWorker:
         engine = server.engine
         scheduler = server.scheduler
         while True:
+            if server.crashed:
+                yield server.restart_event()
+                continue
             request = scheduler.dequeue(engine.now)
             if request is None:
                 if scheduler.backlog == 0:
@@ -57,15 +62,41 @@ class IOWorker:
                     # Throttled (GIFT budget / TBF tokens): idle cycle.
                     self.idle_cycles += 1
                     wake = scheduler.next_eligible_time(engine.now)
-                    delay = (wake - engine.now
-                             if wake != float("inf") else _BLOCKED_RETRY)
-                    yield engine.timeout(max(delay, _BLOCKED_RETRY))
+                    if wake == float("inf"):
+                        # Backlogged but the scheduler cannot name a
+                        # wake-up time: park until new work or a token
+                        # refresh triggers a notify (event-driven; the
+                        # old path polled on a 1 ms timer here).
+                        self.throttle_waits += 1
+                        yield server.work_event()
+                    else:
+                        yield engine.timeout(
+                            max(wake - engine.now, _BLOCKED_RETRY))
                 continue
+            # A crash between here and the reply wipes the server's
+            # state; the epoch check makes the worker drop the request
+            # on the floor (no reply — the client's retry re-executes).
+            epoch = server.crash_epoch
             yield from self._acquire_locks(request)
+            if server.crashed or server.crash_epoch != epoch:
+                self._abandon(request)
+                continue
             yield engine.timeout(server.service_time(request))
+            if server.crashed or server.crash_epoch != epoch:
+                self._abandon(request)
+                continue
             moved = self._apply(request)
             self._release_locks(request)
             self._complete(request, moved)
+
+    def _abandon(self, request: IORequest) -> None:
+        """Drop a request whose service straddled a crash (no reply)."""
+        self.abandoned += 1
+        self._release_locks(request)
+        server = self.server
+        server.requests_dropped_in_crash += 1
+        if server.fault_stats is not None:
+            server.fault_stats.requests_dropped_in_crash += 1
 
     # --------------------------------------------------------------- locking
     def _lock_node(self):
@@ -112,7 +143,9 @@ class IOWorker:
             node.range_locks.unlock_write(self.locked_ino, self)
             self.locked_ino = None
         if self.locked_meta is not None:
-            node.meta_locks.unlock(self.locked_meta, self)
+            # unlock_if_held: a crash may have wiped the table (and our
+            # ownership) between acquire and release.
+            node.meta_locks.unlock_if_held(self.locked_meta, self)
             self.locked_meta = None
 
     # --------------------------------------------------------------- execute
@@ -121,6 +154,17 @@ class IOWorker:
         fs = self.server.fs
         path = request.path
         op = request.op
+        hook = self.server.storage_fault
+        if hook is not None:
+            exc = hook(request, self.server.engine.now)
+            if exc is not None:
+                # Injected device error (e.g. EIO): fail the op without
+                # touching the FS; the reply carries ok=False.
+                self.server.record_error(request, exc)
+                request.error = exc
+                if self.server.fault_stats is not None:
+                    self.server.fault_stats.storage_errors += 1
+                return 0
         try:
             if op is OpType.WRITE:
                 if request.payload is not None:
@@ -150,14 +194,16 @@ class IOWorker:
                 if not fs.exists(path):
                     fs.mkdir(path)
                 return 0
-        except FileNotFound:
+        except FileNotFound as exc:
             if op.is_data:
                 self.server.record_error(request, FileNotFound(path))
+                request.error = exc
             # Metadata miss (e.g. iops_stat's random names): a normal
             # ENOENT outcome, served and answered like any other op.
             return 0
         except FSError as exc:
             self.server.record_error(request, exc)
+            request.error = exc
             return 0
         raise FSError(f"unhandled op {op}")  # pragma: no cover
 
@@ -180,7 +226,9 @@ class IOWorker:
             written += piece.length
         end = request.offset + request.size
         if end > inode.size:
-            inode.size = end
+            # Route the size advance through the FS so a journaled FS
+            # logs the extension (durability of acknowledged writes).
+            fs.write_accounting(request.path, end, 0)
         return written
 
     def _complete(self, request: IORequest, moved: int) -> None:
@@ -190,6 +238,25 @@ class IOWorker:
         self.served_bytes += data_bytes
         server.sampler.record(server.engine.now, request.job_id,
                               data_bytes, request.op.value)
+        if (server.restarted_at is not None
+                and server.first_completion_after_restart is None):
+            server.first_completion_after_restart = server.engine.now
         if request.rpc is not None:
             resp_size = moved if request.op is OpType.READ else 0
-            request.rpc.reply({"ok": True, "bytes": moved}, size=resp_size)
+            if request.error is None:
+                body = {"ok": True, "bytes": moved}
+            else:
+                body = {"ok": False, "bytes": moved,
+                        "error": getattr(request.error, "errno_name",
+                                         "EIO")}
+                if server.fault_stats is not None:
+                    server.fault_stats.error_replies += 1
+            request.rpc.reply(body, size=resp_size)
+            if request.client_req_id is not None:
+                if request.error is None:
+                    server.cache_reply(request.client_req_id, body,
+                                       resp_size)
+                else:
+                    # Failed requests were not applied: let a retry of
+                    # the same id re-execute instead of replaying EIO.
+                    server.forget_request(request.client_req_id)

@@ -13,6 +13,11 @@ Commands
     Ad-hoc two-phase sharing run: ``--policy size-fair --jobs
     4:alice,1:bob`` runs one job per entry (``nodes:user[:group]``),
     first job for the whole window, the rest joining a quarter in.
+``faults``
+    Availability scenario: N jobs through one server crash + restart
+    with journaling, log-structured storage and fault-tolerant clients
+    enabled; prints recovery time, fairness through the outage, and the
+    run's fault counters.
 """
 
 from __future__ import annotations
@@ -80,6 +85,16 @@ def _build_parser() -> argparse.ArgumentParser:
     share.add_argument("--scale", type=float, default=0.1)
     share.add_argument("--seed", type=int, default=0)
     share.add_argument("--servers", type=int, default=1)
+
+    faults = sub.add_parser(
+        "faults", help="availability run through a server crash + restart")
+    faults.add_argument("--jobs", type=int, default=3,
+                        help="number of concurrent jobs (default 3)")
+    faults.add_argument("--servers", type=int, default=2)
+    faults.add_argument("--duration", type=float, default=6.0)
+    faults.add_argument("--crash-at", type=float, default=2.0)
+    faults.add_argument("--restart-at", type=float, default=3.5)
+    faults.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -146,6 +161,17 @@ def _cmd_sharing(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    out = exps.availability_outage(
+        n_jobs=args.jobs, n_servers=args.servers, duration=args.duration,
+        crash_at=args.crash_at, restart_at=args.restart_at, seed=args.seed)
+    print(out.report())
+    print()
+    print("fault counters:")
+    print(out.stats.report())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -158,6 +184,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_figure(args)
         if args.command == "sharing":
             return _cmd_sharing(args)
+        if args.command == "faults":
+            return _cmd_faults(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -30,6 +30,12 @@ class FifoScheduler(Scheduler):
     def dequeue(self, now: float) -> Optional[Any]:
         return self._queue.popleft() if self._queue else None
 
+    def drain(self) -> list:
+        """Remove and return every queued request in arrival order."""
+        items = list(self._queue)
+        self._queue.clear()
+        return items
+
     @property
     def backlog(self) -> int:
         return len(self._queue)

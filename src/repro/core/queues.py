@@ -108,6 +108,24 @@ class QueueSet:
     def total_cost(self) -> float:
         return self._total_cost
 
+    def drain(self) -> List[Any]:
+        """Remove and return every queued request (crash path).
+
+        Items come back grouped by job in sorted-job order, oldest first
+        within a job — a deterministic order so two identical runs drop
+        identical request sequences. All bookkeeping is reset.
+        """
+        items: List[Any] = []
+        for job_id in self._sorted_jobs:
+            items.extend(self._queues[job_id])
+        self._queues.clear()
+        self._sorted_jobs.clear()
+        self._total = 0
+        self._total_cost = 0.0
+        self._job_cost.clear()
+        self._membership_version += 1
+        return items
+
     def __len__(self) -> int:
         return self._total
 

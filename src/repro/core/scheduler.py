@@ -63,6 +63,17 @@ class Scheduler(ABC):
         """Earliest time a blocked backlog becomes serviceable (inf = now/never)."""
         return float("inf")
 
+    def drain(self) -> "list":
+        """Remove and return every queued request (server crash path).
+
+        The default covers schedulers built on a :class:`QueueSet`
+        ``queues`` attribute; others override.
+        """
+        queues = getattr(self, "queues", None)
+        if queues is not None and hasattr(queues, "drain"):
+            return queues.drain()
+        return []
+
 
 class StatisticalTokenScheduler(Scheduler):
     """ThemisIO's scheduler: statistical tokens + opportunity fairness.
@@ -207,6 +218,20 @@ class StatisticalTokenScheduler(Scheduler):
     @property
     def backlog(self) -> int:
         return self.queues.total
+
+    def next_eligible_time(self, now: float) -> float:
+        """``now`` while backlogged in the ablation mode, else ``inf``.
+
+        In the ablation (``opportunity_fair=False``) a dequeue can waste
+        its draw on an idle job's segment, so a backlogged queue may
+        return ``None`` yet become serviceable on the very next draw —
+        the worker should retry on its short timer, exactly as before.
+        The opportunity-fair mode never returns ``None`` with backlog,
+        so workers park on the work event instead (``inf``).
+        """
+        if self.queues and not self.opportunity_fair:
+            return now
+        return float("inf")
 
     # --------------------------------------------------------------- helpers
     def _draw_index(self, n: int) -> int:

@@ -40,6 +40,15 @@ class UCXError(ReproError):
     """Raised by the UCX-like communication layer."""
 
 
+class RpcTimeout(UCXError):
+    """An RPC call received no response within its timeout window.
+
+    Raised into the caller when a request's timeout expires (server
+    crashed, link partitioned, or message dropped); the fault-tolerant
+    client retries on it with exponential backoff.
+    """
+
+
 class FSError(ReproError):
     """Base class for file-system errors (carries an errno-like code)."""
 

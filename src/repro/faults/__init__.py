@@ -1,0 +1,31 @@
+"""Seeded, deterministic fault injection for cluster simulations.
+
+The paper's §7 names crash recovery as ThemisIO's main open problem;
+this package turns the recovery machinery (journal replay, log-segment
+scans, retry/failover clients, degraded λ-sync) into *exercised* system
+behaviour. A :class:`FaultPlan` is a declarative list of typed faults at
+simulated times — server crash/restart, link degradation or partition,
+per-message drop or delay, storage-op EIO, heartbeat loss, abrupt client
+disconnect — and a :class:`FaultInjector` arms the plan against a live
+:class:`~repro.bb.cluster.Cluster`.
+
+Determinism invariant: all randomness (drop coins, EIO coins) comes from
+named :class:`~repro.sim.rng.RngRegistry` streams keyed by the fault's
+plan index, and every probabilistic decision is taken at a point fully
+ordered by the DES (message send, request apply). Same seed + same plan
+⇒ bit-identical traces.
+"""
+
+from .injector import FaultInjector
+from .plan import (ClientDisconnect, FaultPlan, HeartbeatLoss, LinkFault,
+                   ServerCrash, StorageFault)
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "ServerCrash",
+    "LinkFault",
+    "HeartbeatLoss",
+    "StorageFault",
+    "ClientDisconnect",
+]

@@ -305,6 +305,36 @@ class ThemisFS:
         parent.mtime = self.clock()
         self._meta_node(inode.path).remove_inode(inode)
 
+    # ----------------------------------------------------------- fault model
+    def crash_node(self, name: str) -> None:
+        """Model server *name* crashing: locks vanish, volatile chunk
+        indexes (log backends) are lost.
+
+        The base class keeps namespace metadata through a crash — without
+        a journal there would be nothing to rebuild it from, and a
+        permanently wedged namespace is not a useful model.
+        :class:`~repro.fs.journal.JournaledFS` overrides this to also
+        lose the node's metadata tables, which :meth:`recover_node` then
+        rebuilds from the journal.
+        """
+        node = self.nodes[name]
+        node.range_locks.reset()
+        node.meta_locks.reset()
+        if hasattr(node.backend, "crash"):
+            node.backend.crash()
+
+    def recover_node(self, name: str) -> Dict[str, object]:
+        """Bring server *name* back: rescan a log-backed store if present.
+
+        Returns recovery statistics (``applied`` journal entries — always
+        zero here — and per-backend ``scans``).
+        """
+        node = self.nodes[name]
+        scans = {}
+        if hasattr(node.backend, "recover"):
+            scans[name] = node.backend.recover()
+        return {"applied": 0, "scans": scans}
+
     # --------------------------------------------------------------- routing
     def data_servers(self, path: str, offset: int, length: int) -> Set[str]:
         """Servers touched by an I/O to ``[offset, offset+length)`` of *path*.

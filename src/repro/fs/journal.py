@@ -218,6 +218,60 @@ class JournaledFS(ThemisFS):
                 scans[name] = node.backend.recover()
         return {"applied": applied, "scans": scans}
 
+    def crash_node(self, name: str) -> None:
+        """Crash one server: its namespace tables, locks, and (for log
+        backends) chunk index all vanish. Other servers are untouched;
+        the shared journal and the node's log segments survive."""
+        node = self.nodes[name]
+        node.inodes.clear()
+        node.paths.clear()
+        super().crash_node(name)
+
+    def recover_node(self, name: str) -> Dict[str, Any]:
+        """Rebuild one server from the journal, then rescan its store.
+
+        The journal is namespace-wide, so recovery replays the full
+        checkpoint + record stream with exists-guards: entries owned by
+        surviving servers still exist and are skipped, entries owned by
+        the recovering server are recreated with their original inode
+        numbers (lining up with the log store's ``(ino, chunk)`` keys).
+        Returns recovery statistics.
+        """
+        if self.lookup("/") is None and self.metadata_server("/") == name:
+            now = self.clock()
+            root = Inode(ino=1, ftype=FileType.DIRECTORY, path="/",
+                         ctime=now, mtime=now)
+            self._meta_node("/").add_inode(root)
+
+        self._replaying = True
+        try:
+            applied = 0
+            if self.journal.checkpoint:
+                for entry in self.journal.checkpoint:
+                    if entry["path"] == "/" or self.exists(entry["path"]):
+                        continue
+                    if entry["ftype"] == FileType.DIRECTORY.value:
+                        self.mkdir(entry["path"], ino=entry["ino"])
+                    else:
+                        inode = self.create(entry["path"], uid=entry["uid"],
+                                            ino=entry["ino"])
+                        inode.stripe = StripeSpec(
+                            self.stripe_size,
+                            tuple(entry["stripe_servers"]))
+                        inode.size = entry["size"]
+                    applied += 1
+            for record in self.journal.records:
+                self._apply(record)
+                applied += 1
+        finally:
+            self._replaying = False
+
+        scans = {}
+        node = self.nodes[name]
+        if hasattr(node.backend, "recover"):
+            scans[name] = node.backend.recover()
+        return {"applied": applied, "scans": scans}
+
     def _apply(self, record: JournalRecord) -> None:
         op, args = record.op, record.args
         if op == "mkdir":

@@ -54,6 +54,13 @@ class _WaiterMixin:
             for waiter in pending:
                 waiter.succeed()
 
+    def _wake_all(self) -> None:
+        """Wake every parked waiter on every inode (crash reset path)."""
+        waiters, self._waiters = self._waiters, {}
+        for pending in waiters.values():
+            for waiter in pending:
+                waiter.succeed()
+
 
 class RangeLockTable(_WaiterMixin):
     """Byte-range write locks per file (inode number)."""
@@ -101,6 +108,17 @@ class RangeLockTable(_WaiterMixin):
         """Number of write locks currently held on *ino*."""
         return len(self._writes.get(ino, []))
 
+    def reset(self) -> None:
+        """Drop every lock and wake every waiter (server crash path).
+
+        Woken waiters retry their acquisition; workers on a crashed
+        server observe the crash epoch and abandon the request instead,
+        so nobody is left parked forever on a lock that will never be
+        released.
+        """
+        self._writes.clear()
+        self._wake_all()
+
 
 class MetadataLockTable(_WaiterMixin):
     """Per-inode mutex for metadata updates (§4.3)."""
@@ -123,6 +141,24 @@ class MetadataLockTable(_WaiterMixin):
             raise FSError(f"unlocking metadata lock not held by owner: ino={ino}")
         del self._held[ino]
         self._wake(ino)
+
+    def unlock_if_held(self, ino: int, owner: object) -> bool:
+        """Release the mutex only if *owner* holds it; True if released.
+
+        Crash-tolerant variant of :meth:`unlock`: after a server crash
+        wipes the table, the releasing worker may no longer be the
+        recorded owner — that is not an error on this path.
+        """
+        if self._held.get(ino) is not owner:
+            return False
+        del self._held[ino]
+        self._wake(ino)
+        return True
+
+    def reset(self) -> None:
+        """Drop every mutex and wake every waiter (server crash path)."""
+        self._held.clear()
+        self._wake_all()
 
     def locked(self, ino: int) -> bool:
         """True if *ino*'s metadata mutex is held."""

@@ -16,8 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..bb.client import ClientConfig
 from ..bb.cluster import ClusterConfig
 from ..bb.server import ServerConfig
+from ..faults import FaultInjector, FaultPlan, ServerCrash
 from ..metrics.stats import jain_index, scaling_efficiency, share_ratio
 from ..metrics.timeline import ShareTimeline, convergence_interval
 from ..units import GB, MB, fmt_bw
@@ -37,6 +39,7 @@ __all__ = [
     "fig13_applications", "fig14_lambda", "related_datawarp",
     "InterferenceResult", "ScalingResult", "BaselineComparison",
     "LambdaResult", "CompositeResult", "ProvisioningResult",
+    "AvailabilityResult", "availability_outage",
 ]
 
 #: background interference job of §5.5: one node of small write/read cycles.
@@ -641,3 +644,114 @@ def fig14_lambda(lambdas: Sequence[float] = (0.010, 0.050, 0.200, 0.500),
         variance[lam] = float(tail.var()) if len(tail) else 0.0
     return LambdaResult(lambdas=list(lambdas), convergence=convergence,
                         variance=variance)
+
+
+# =====================================================================
+# Availability under a server outage (§7's open problem, exercised)
+# =====================================================================
+
+@dataclass
+class AvailabilityResult:
+    """What an N-job run looked like through one server crash + restart.
+
+    ``recovery_time`` is restart-to-first-served-request on the crashed
+    server (None if nothing completed there after the restart).
+    ``jain_*`` are Jain fairness indices of per-job throughput before the
+    crash, during the outage, and after the rejoin settles.
+    """
+
+    result: ExperimentResult
+    crashed_server: str
+    crash_at: float
+    restart_at: float
+    recovery_time: Optional[float]
+    jain_before: float
+    jain_during: float
+    jain_after: float
+
+    @property
+    def stats(self):
+        """The run's :class:`~repro.metrics.FaultStats` counters."""
+        return self.result.cluster.fault_stats
+
+    def report(self) -> str:
+        """Availability table: fairness through the outage + recovery."""
+        stats = self.stats
+        rec = ("n/a" if self.recovery_time is None
+               else f"{self.recovery_time * 1000:.1f} ms")
+        rows = [
+            ("crashed server", self.crashed_server),
+            ("outage window", f"[{self.crash_at:.2f}s, {self.restart_at:.2f}s)"),
+            ("recovery time", rec),
+            ("Jain before crash", f"{self.jain_before:.3f}"),
+            ("Jain during outage", f"{self.jain_during:.3f}"),
+            ("Jain after rejoin", f"{self.jain_after:.3f}"),
+            ("requests retried", str(stats.retries)),
+            ("rpc timeouts", str(stats.rpc_timeouts)),
+            ("failovers", str(stats.failovers)),
+            ("requests failed", str(stats.requests_failed)),
+            ("dropped in crash", str(stats.requests_dropped_in_crash)),
+            ("duplicate requests", str(stats.duplicate_requests)),
+            ("degraded sync rounds", str(stats.degraded_sync_rounds)),
+        ]
+        return table(("metric", "value"), rows,
+                     title="Availability under one server outage")
+
+
+def availability_outage(n_jobs: int = 3, n_servers: int = 2,
+                        duration: float = 6.0, crash_at: float = 2.0,
+                        restart_at: float = 3.5, seed: int = 0,
+                        crashed_server: str = "bb0",
+                        policy: str = "job-fair") -> AvailabilityResult:
+    """N jobs write/read through a crash of one of the servers.
+
+    The cluster runs with every durability and fault-tolerance layer on:
+    journaled metadata + log-structured storage (acked writes survive the
+    crash), fault-tolerant clients (timeout / retry / failover), and
+    degraded λ-sync (surviving peers keep exchanging tables while the
+    crashed one is away). Expected shape: throughput dips but never
+    deadlocks during the outage, the crashed server serves again within
+    a few client-timeout periods of its restart, and Jain fairness after
+    the rejoin returns to the pre-crash level.
+    """
+    timeout = 0.25
+    cfg = ExperimentConfig(
+        cluster=ClusterConfig(
+            n_servers=n_servers, policy=policy, seed=seed,
+            journal=True, storage_backend="log",
+            client=ClientConfig(rpc_timeout=timeout, rpc_retries=-1),
+            server=ServerConfig(sync_timeout=0.5)),
+        jobs=[JobRun(spec=JobSpec(job_id=i + 1, user=f"u{i + 1}", nodes=1),
+                     workload=WriteReadCycle(file_size=4 * MB,
+                                             streams_per_node=4),
+                     start=0.0, stop=duration) for i in range(n_jobs)],
+        max_time=duration + 1.0,
+        sample_interval=0.25,
+    )
+    plan = FaultPlan([ServerCrash(crashed_server, at=crash_at,
+                                  restart_at=restart_at)])
+
+    def arm(cluster):
+        FaultInjector(cluster, plan).arm()
+
+    result = run_experiment(cfg, on_cluster=arm)
+    server = result.cluster.servers[crashed_server]
+    recovery = None
+    if (server.first_completion_after_restart is not None
+            and server.restarted_at is not None):
+        recovery = (server.first_completion_after_restart
+                    - server.restarted_at)
+    job_ids = [run.spec.job_id for run in cfg.jobs]
+
+    def jain(t0: float, t1: float) -> float:
+        return jain_index([result.window_throughput(t0, t1, j)
+                           for j in job_ids])
+
+    settle = 2 * timeout  # let retries/failbacks drain out of the window
+    return AvailabilityResult(
+        result=result, crashed_server=crashed_server,
+        crash_at=crash_at, restart_at=restart_at,
+        recovery_time=recovery,
+        jain_before=jain(settle, crash_at),
+        jain_during=jain(crash_at + settle, restart_at),
+        jain_after=jain(restart_at + settle, duration))

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -119,9 +119,18 @@ class ExperimentResult:
         }
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Build the cluster, run every job, return the measurements."""
+def run_experiment(config: ExperimentConfig,
+                   on_cluster: Optional[Callable[[Cluster], None]] = None
+                   ) -> ExperimentResult:
+    """Build the cluster, run every job, return the measurements.
+
+    *on_cluster* is called with the freshly built cluster before any
+    simulated time passes — the hook point for arming a
+    :class:`~repro.faults.FaultInjector` or other instrumentation.
+    """
     cluster = Cluster(config.cluster)
+    if on_cluster is not None:
+        on_cluster(cluster)
     engine = cluster.engine
     cluster.fs.makedirs(config.base_dir)
     outcomes: Dict[int, JobOutcome] = {}

@@ -1,5 +1,6 @@
 """Measurement utilities: throughput sampling, statistics, share timelines."""
 
+from .faultstats import FaultStats
 from .sampler import ThroughputSampler
 from .stats import (jain_index, median_nonzero, percentile_nonzero,
                     scaling_efficiency, share_ratio, size_fair_bound,
@@ -7,6 +8,7 @@ from .stats import (jain_index, median_nonzero, percentile_nonzero,
 from .timeline import ShareTimeline, convergence_interval
 
 __all__ = [
+    "FaultStats",
     "ThroughputSampler",
     "median_nonzero",
     "stddev_nonzero",

@@ -10,6 +10,13 @@ counts are maintained incrementally at :meth:`record` time, and
 per-record cumulative byte prefixes let :meth:`window_throughput`
 answer any ``[t0, t1)`` window with two binary searches (completion
 times arrive in nondecreasing simulation order).
+
+Long runs (multi-hour fault scenarios) can cap memory with
+``bin_interval``: completions are then folded into fixed-width time
+bins on the fly instead of kept as raw records, so memory scales with
+simulated duration / ``bin_interval`` rather than with the request
+count. Binned mode trades record-level resolution for that bound —
+series and window queries answer at ``bin_interval`` granularity.
 """
 
 from __future__ import annotations
@@ -20,15 +27,28 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..errors import ConfigError
+
 __all__ = ["ThroughputSampler", "CompletionRecord"]
 
 CompletionRecord = Tuple[float, int, int, str]  # (time, job_id, nbytes, op)
 
 
 class ThroughputSampler:
-    """Accumulates request completions; produces binned throughput series."""
+    """Accumulates request completions; produces binned throughput series.
 
-    def __init__(self):
+    With ``bin_interval=None`` (the default) every completion is kept as
+    a raw record — full resolution, memory grows with the request count.
+    With a positive ``bin_interval`` completions are merged into
+    per-``bin_interval`` byte totals at record time (bounded memory).
+    """
+
+    def __init__(self, bin_interval: Optional[float] = None):
+        if bin_interval is not None and bin_interval <= 0:
+            raise ConfigError(
+                f"bin_interval must be positive: {bin_interval}")
+        self.bin_interval = bin_interval
+        self._n = 0
         self._times: List[float] = []
         self._jobs: List[int] = []
         self._bytes: List[int] = []
@@ -42,16 +62,29 @@ class ThroughputSampler:
         self._cum_bytes: List[int] = []
         self._job_times: Dict[int, List[float]] = {}
         self._job_cum_bytes: Dict[int, List[int]] = {}
+        # Binned mode state: bin index -> bytes, globally and per job.
+        self._total_bins: Dict[int, float] = {}
+        self._job_bins: Dict[int, Dict[int, float]] = {}
+        self._last_time = 0.0
 
     def record(self, now: float, job_id: int, nbytes: int, op: str) -> None:
         """Record one completed request."""
+        self._n += 1
+        self._total_bytes += nbytes
+        self._job_bytes[job_id] = self._job_bytes.get(job_id, 0) + nbytes
+        self._job_op_counts[(job_id, op)] += 1
+        if self.bin_interval is not None:
+            b = int(now // self.bin_interval)
+            self._total_bins[b] = self._total_bins.get(b, 0.0) + nbytes
+            job_bins = self._job_bins.setdefault(job_id, {})
+            job_bins[b] = job_bins.get(b, 0.0) + nbytes
+            if now > self._last_time:
+                self._last_time = now
+            return
         self._times.append(now)
         self._jobs.append(job_id)
         self._bytes.append(nbytes)
         self._ops.append(op)
-        self._total_bytes += nbytes
-        self._job_bytes[job_id] = self._job_bytes.get(job_id, 0) + nbytes
-        self._job_op_counts[(job_id, op)] += 1
         self._cum_bytes.append(self._total_bytes)
         times = self._job_times.get(job_id)
         if times is None:
@@ -61,7 +94,7 @@ class ThroughputSampler:
         self._job_cum_bytes[job_id].append(self._job_bytes[job_id])
 
     def __len__(self) -> int:
-        return len(self._times)
+        return self._n
 
     # ------------------------------------------------------------------ reads
     def job_ids(self) -> List[int]:
@@ -87,21 +120,42 @@ class ThroughputSampler:
                    if (job_id is None or j == job_id)
                    and (op is None or o == op))
 
+    def _bin_points(self, job_id: Optional[int]
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Binned-mode records as (bin-center times, bytes) point masses."""
+        bins = (self._total_bins if job_id is None
+                else self._job_bins.get(job_id, {}))
+        if not bins:
+            return np.empty(0), np.empty(0)
+        idx = np.fromiter(bins.keys(), dtype=float, count=len(bins))
+        vals = np.fromiter(bins.values(), dtype=float, count=len(bins))
+        return (idx + 0.5) * self.bin_interval, vals
+
     def series(self, job_id: Optional[int] = None, interval: float = 1.0,
                start: float = 0.0,
                end: Optional[float] = None) -> Tuple[np.ndarray, np.ndarray]:
         """Binned throughput: ``(bin_starts, bytes_per_second)``.
 
         *job_id* None aggregates all jobs. Bins cover ``[start, end)``;
-        *end* defaults to the last completion time.
+        *end* defaults to the last completion time. In on-the-fly
+        binning mode each stored bin contributes at its centre time, so
+        the answer is exact when *interval* is a multiple of
+        ``bin_interval`` and approximate below that resolution.
         """
-        times = np.asarray(self._times)
-        sizes = np.asarray(self._bytes, dtype=float)
-        if job_id is not None:
-            mask = np.asarray(self._jobs) == job_id
-            times, sizes = times[mask], sizes[mask]
-        if end is None:
-            end = float(times.max()) + interval if times.size else start + interval
+        if self.bin_interval is not None:
+            times, sizes = self._bin_points(job_id)
+            if end is None:
+                end = (self._last_time + interval if times.size
+                       else start + interval)
+        else:
+            times = np.asarray(self._times)
+            sizes = np.asarray(self._bytes, dtype=float)
+            if job_id is not None:
+                mask = np.asarray(self._jobs) == job_id
+                times, sizes = times[mask], sizes[mask]
+            if end is None:
+                end = (float(times.max()) + interval if times.size
+                       else start + interval)
         n_bins = max(1, int(np.ceil((end - start) / interval)))
         edges = start + np.arange(n_bins + 1) * interval
         binned, _ = np.histogram(times, bins=edges, weights=sizes)
@@ -118,12 +172,16 @@ class ThroughputSampler:
                           job_id: Optional[int] = None) -> float:
         """Mean bytes/second over ``[t0, t1)``.
 
-        O(log n): two binary searches over the (nondecreasing) record
-        times bracket the window, and the cumulative-byte prefixes give
-        the windowed sum by subtraction.
+        Raw mode is O(log n): two binary searches over the
+        (nondecreasing) record times bracket the window, and the
+        cumulative-byte prefixes give the windowed sum by subtraction.
+        Binned mode apportions each stored bin by its fractional overlap
+        with the window (exact at ``bin_interval`` resolution).
         """
         if t1 <= t0:
             return 0.0
+        if self.bin_interval is not None:
+            return self._binned_window(t0, t1, job_id)
         if job_id is None:
             times, cum = self._times, self._cum_bytes
         else:
@@ -136,4 +194,29 @@ class ThroughputSampler:
         if hi <= lo:
             return 0.0
         total = cum[hi - 1] - (cum[lo - 1] if lo > 0 else 0)
+        return total / (t1 - t0)
+
+    def _binned_window(self, t0: float, t1: float,
+                       job_id: Optional[int]) -> float:
+        bins = (self._total_bins if job_id is None
+                else self._job_bins.get(job_id))
+        if not bins:
+            return 0.0
+        w = self.bin_interval
+        lo_bin = int(t0 // w)
+        hi_bin = int(np.ceil(t1 / w))
+        total = 0.0
+        if hi_bin - lo_bin < len(bins):
+            indices = range(lo_bin, hi_bin)
+            get = bins.get
+            for b in indices:
+                nbytes = get(b)
+                if nbytes:
+                    overlap = min(t1, (b + 1) * w) - max(t0, b * w)
+                    total += nbytes * (overlap / w)
+        else:
+            for b, nbytes in bins.items():
+                overlap = min(t1, (b + 1) * w) - max(t0, b * w)
+                if overlap > 0:
+                    total += nbytes * (overlap / w)
         return total / (t1 - t0)

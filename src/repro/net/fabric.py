@@ -13,7 +13,7 @@ pipes per node, which is where contention matters for our workloads).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Union
 
 from ..errors import NetworkError
 from ..sim.process import Event
@@ -24,7 +24,14 @@ from .message import Message
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.engine import Engine
 
-__all__ = ["Fabric", "NodeHandle"]
+__all__ = ["Fabric", "NodeHandle", "FaultVerdict", "DROP"]
+
+#: Sentinel verdict a fault filter returns to drop a message outright.
+DROP = "drop"
+
+#: What a fault filter may return per message: ``None`` (deliver
+#: normally), :data:`DROP`, or a float (extra delivery delay, seconds).
+FaultVerdict = Optional[Union[str, float]]
 
 
 @dataclass
@@ -62,6 +69,12 @@ class Fabric:
         self._nodes: Dict[str, NodeHandle] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        # Fault-injection hooks: both checks are falsy no-ops in a
+        # healthy cluster, so the clean send path pays two branch tests.
+        self._fault_filter: Optional[Callable[[Message], FaultVerdict]] = None
+        self._down: Set[str] = set()
+        self.dropped_messages = 0
+        self.delayed_messages = 0
 
     # -------------------------------------------------------------- topology
     def add_node(self, name: str) -> NodeHandle:
@@ -91,12 +104,41 @@ class Fabric:
     def node_names(self):
         return list(self._nodes)
 
+    # --------------------------------------------------------------- faults
+    def set_fault_filter(
+            self, fn: Optional[Callable[[Message], FaultVerdict]]) -> None:
+        """Install (or clear, with ``None``) a per-message fault filter.
+
+        The filter is evaluated once per send, in send order, which keeps
+        any randomness inside it deterministic for a fixed seed and plan.
+        It returns a :data:`FaultVerdict`: ``None`` delivers normally,
+        :data:`DROP` discards the message after it crosses the wire, and
+        a float adds that many seconds of delivery delay.
+        """
+        self._fault_filter = fn
+
+    def set_node_down(self, name: str, down: bool = True) -> None:
+        """Mark *name* crashed (or back up). A down node neither
+        transmits nor receives; traffic involving it is counted dropped."""
+        self.node(name)  # validate
+        if down:
+            self._down.add(name)
+        else:
+            self._down.discard(name)
+
+    def node_is_down(self, name: str) -> bool:
+        """True if *name* is currently marked down."""
+        return name in self._down
+
     # ------------------------------------------------------------- transport
     def send(self, message: Message) -> Event:
         """Transmit *message*; the event fires when it is enqueued remotely.
 
         The message occupies the sender's NIC for ``size / link_bandwidth``
-        seconds, then arrives ``latency`` later.
+        seconds, then arrives ``latency`` later. Sends are fire-and-forget
+        for fault purposes: a dropped or blackholed message still
+        triggers the returned event (the sender cannot observe the loss
+        — only a missing response can).
         """
         src = self.node(message.src)
         dst = self.node(message.dst)
@@ -104,15 +146,35 @@ class Fabric:
         self.bytes_sent += message.size
 
         delivered = Event(self.engine)
+        if self._down and message.src in self._down:
+            # A dead node transmits nothing: vanish without NIC events.
+            self.dropped_messages += 1
+            delivered.succeed(message)
+            return delivered
+        extra_delay = 0.0
+        dropped = False
+        if self._fault_filter is not None:
+            verdict = self._fault_filter(message)
+            if verdict == DROP:
+                dropped = True
+            elif verdict is not None:
+                extra_delay = float(verdict)
+                self.delayed_messages += 1
         sent = src.tx.transfer(message.size)
 
         def _arrive(_ev: Event) -> None:
-            dst.inbox.put(message)
+            # Destination liveness is re-checked at arrival time so a
+            # node that crashed while the message was in flight still
+            # loses it.
+            if dropped or (self._down and message.dst in self._down):
+                self.dropped_messages += 1
+            else:
+                dst.inbox.put(message)
             delivered.succeed(message)
 
         def _after_wire(_ev: Event) -> None:
             # Fixed propagation latency after serialisation.
-            wire = self.engine.timeout(self.latency)
+            wire = self.engine.timeout(self.latency + extra_delay)
             wire.callbacks.append(_arrive)
 
         sent.callbacks.append(_after_wire)

@@ -11,9 +11,9 @@ so the reply path must be detachable from the receive path.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
-from ..errors import UCXError
+from ..errors import RpcTimeout, UCXError
 from ..sim.process import Event
 from .ucp import Address, Endpoint, UCPWorker
 
@@ -71,13 +71,24 @@ class RpcClient:
         self.worker = worker
         self.endpoint: Endpoint = worker.create_endpoint(remote)
         self._pending: Dict[int, Event] = {}
+        #: calls whose timeout expired before the response arrived.
+        self.timeouts = 0
+        #: responses for calls no longer pending (late reply after a
+        #: timeout, or a duplicate from a retried request).
+        self.unmatched_responses = 0
         worker.on(RESP_TAG, self._on_response)
 
-    def call(self, op: str, body: Any = None, size: int = 0) -> Event:
+    def call(self, op: str, body: Any = None, size: int = 0,
+             timeout: Optional[float] = None) -> Event:
         """Invoke *op* remotely; the event's value is the response body.
 
         ``size`` is the request's on-wire byte count (e.g. write payload
         bytes); response size is chosen by the server when replying.
+
+        With *timeout* set, the event instead fails with
+        :class:`~repro.errors.RpcTimeout` if no response arrives within
+        that many seconds; a response that shows up later is discarded
+        (counted in :attr:`unmatched_responses`).
         """
         cid = next(_call_ids)
         done = Event(self.worker.engine)
@@ -93,13 +104,34 @@ class RpcClient:
             },
             size=size,
         )
+        if timeout is not None:
+            timer = self.worker.engine.timeout(timeout)
+            timer.callbacks.append(
+                lambda _ev: self._expire(cid, done, op, timeout))
         return done
+
+    def _expire(self, cid: int, done: Event, op: str,
+                timeout: float) -> None:
+        # Only fail the call if it is still the pending one for this cid
+        # (the response may have raced the timer).
+        if self._pending.get(cid) is not done:
+            return
+        del self._pending[cid]
+        self.timeouts += 1
+        # Defuse first: a timed-out call nobody is waiting on must not
+        # crash the kernel; waiters still get RpcTimeout thrown in.
+        done.defuse()
+        done.fail(RpcTimeout(
+            f"call {cid} ({op!r}) to {self.endpoint.remote} timed out "
+            f"after {timeout}s"))
 
     def _on_response(self, msg) -> None:
         cid = msg.payload["cid"]
         done = self._pending.pop(cid, None)
         if done is None:
-            raise UCXError(f"response for unknown call id {cid}")
+            # Late response after a timeout (or a duplicate): drop it.
+            self.unmatched_responses += 1
+            return
         done.succeed(msg.payload["body"])
 
     @property

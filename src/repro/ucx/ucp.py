@@ -43,7 +43,13 @@ class UCPContext:
         if not fabric.has_node(node_name):
             fabric.add_node(node_name)
         self.workers: Dict[str, UCPWorker] = {}
-        self.dropped: List[Message] = []  # messages to closed/unknown workers
+        # Ring of the most recent drops (closed/unknown worker, or node
+        # down); bounded so long degraded runs don't leak memory. Tests
+        # assert on the total via dropped_count.
+        self.dropped: Deque[Message] = deque(maxlen=64)
+        self.dropped_count = 0
+        #: crash flag: while True the dispatcher drops everything.
+        self.down = False
         self._dispatcher = engine.process(self._dispatch())
 
     def create_worker(self, name: str) -> "UCPWorker":
@@ -59,8 +65,9 @@ class UCPContext:
         while True:
             msg = yield inbox.get()
             worker = self.workers.get(msg.worker)
-            if worker is None or worker.closed:
+            if self.down or worker is None or worker.closed:
                 self.dropped.append(msg)
+                self.dropped_count += 1
                 continue
             worker._deliver(msg)
 

@@ -35,6 +35,13 @@ class TestFifo:
         s.enqueue(Req(1), 0.0)
         assert s.backlog == 1
 
+    def test_drain_preserves_arrival_order(self):
+        s = FifoScheduler()
+        for i in range(3):
+            s.enqueue(Req(1, seq=i), 0.0)
+        assert [r.seq for r in s.drain()] == [0, 1, 2]
+        assert s.backlog == 0
+
     def test_small_job_blocks_big_job(self):
         # The paper's motivating pathology: a burst from job 1 queued
         # first delays job 2's single request behind the whole burst.

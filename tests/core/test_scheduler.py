@@ -60,6 +60,51 @@ class TestQueueSet:
         assert q.peek(3).seq == 7
         assert q.peek(9) is None
 
+    def test_drain_returns_everything_in_job_order(self):
+        q = QueueSet()
+        q.push(Req(2, seq=0))
+        q.push(Req(1, seq=0))
+        q.push(Req(1, seq=1))
+        drained = q.drain()
+        assert [(r.job_id, r.seq) for r in drained] == [
+            (1, 0), (1, 1), (2, 0)]
+        assert not q
+        assert q.total == 0 and q.total_cost == 0
+
+
+class TestDrainAndWake:
+    """Crash support (drain) and event-driven worker wake-up points."""
+
+    def test_scheduler_drain_empties_queues(self):
+        s = make()
+        s.on_jobs_changed([job(1), job(2)], 0.0)
+        for i in range(3):
+            s.enqueue(Req(1, seq=i), 0.0)
+        s.enqueue(Req(2, seq=0), 0.0)
+        drained = s.drain()
+        assert len(drained) == 4
+        assert s.backlog == 0
+        assert s.dequeue(0.0) is None
+
+    def test_ablation_mode_stays_on_short_timer(self):
+        # opportunity_fair=False can waste a draw on an idle job, so a
+        # backlogged queue must be polled again immediately (the worker
+        # keeps its pre-existing _BLOCKED_RETRY cadence, trace-identical).
+        s = make(opportunity_fair=False)
+        s.on_jobs_changed([job(1)], 0.0)
+        assert s.next_eligible_time(5.0) == float("inf")  # empty queues
+        s.enqueue(Req(1), 5.0)
+        assert s.next_eligible_time(5.0) == 5.0
+
+    def test_opportunity_fair_parks_on_work_event(self):
+        # dequeue never returns None with backlog here, so a None means
+        # "no work at all" and the worker can park on the work event.
+        s = make(opportunity_fair=True)
+        s.on_jobs_changed([job(1)], 0.0)
+        assert s.next_eligible_time(0.0) == float("inf")
+        s.enqueue(Req(1), 0.0)
+        assert s.next_eligible_time(0.0) == float("inf")
+
 
 class TestTokenScheduler:
     def test_serves_fifo_within_a_job(self):

@@ -1,0 +1,1 @@
+"""Fault-injection tests: plans, the injector, and DESIGN §6 promises."""

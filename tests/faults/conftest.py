@@ -1,0 +1,71 @@
+"""Shared fixtures for the fault suite.
+
+Every test here runs under a wall-clock watchdog: a fault-injection bug
+whose failure mode is a deadlock (a worker parked on an event nobody
+fires) would otherwise hang the whole CI job rather than fail one test.
+"""
+
+import signal
+
+import pytest
+
+from repro.bb import Cluster, ClusterConfig, ServerConfig
+from repro.bb.client import ClientConfig
+from repro.core import JobInfo
+
+#: seconds of real time a single fault test may take before it is
+#: declared deadlocked.
+WATCHDOG_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def _watchdog():
+    """Abort (don't hang) any fault test stuck past the wall-clock cap."""
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def timed_out(signum, frame):  # pragma: no cover - fires on deadlock
+        raise TimeoutError(
+            f"fault test exceeded {WATCHDOG_SECONDS}s wall clock "
+            "(likely a simulation deadlock)")
+
+    previous = signal.signal(signal.SIGALRM, timed_out)
+    signal.alarm(WATCHDOG_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture
+def make_cluster():
+    """Factory for fault-ready clusters (journal + log + FT clients)."""
+
+    def make(n_servers=2, seed=0, journal=True, backend="log",
+             rpc_timeout=0.25, rpc_retries=-1, retry_backoff=0.05,
+             sync_timeout=0.5, heartbeat_interval=0.5, **server_kw):
+        cfg = ClusterConfig(
+            n_servers=n_servers, policy="job-fair", seed=seed,
+            journal=journal, storage_backend=backend,
+            client=ClientConfig(rpc_timeout=rpc_timeout,
+                                rpc_retries=rpc_retries,
+                                retry_backoff=retry_backoff,
+                                heartbeat_interval=heartbeat_interval),
+            server=ServerConfig(sync_timeout=sync_timeout, **server_kw))
+        cluster = Cluster(cfg)
+        cluster.fs.makedirs("/fs/d")
+        return cluster
+
+    return make
+
+
+@pytest.fixture
+def job():
+    """JobInfo factory matching the bb-suite convention."""
+
+    def make(jid, user="alice", group="g0", size=1):
+        return JobInfo(job_id=jid, user=user, group=group, size=size)
+
+    return make

@@ -1,0 +1,44 @@
+"""The harness-level availability scenario (ISSUE 2 acceptance)."""
+
+import pytest
+
+from repro.harness.experiments import AvailabilityResult, availability_outage
+
+
+@pytest.fixture(scope="module")
+def outage():
+    """One shared availability run (module-scoped: it is the slow part)."""
+    return availability_outage(n_jobs=3, n_servers=2, duration=4.0,
+                               crash_at=1.5, restart_at=2.5, seed=0)
+
+
+class TestAvailabilityScenario:
+    def test_run_completes_without_deadlock(self, outage):
+        assert isinstance(outage, AvailabilityResult)
+        assert outage.result.end_time <= 5.0 + 1e-9
+
+    def test_crash_and_recovery_happened(self, outage):
+        stats = outage.stats
+        assert stats.server_crashes == 1
+        assert stats.server_recoveries == 1
+        assert stats.rpc_timeouts > 0
+        assert stats.retries > 0
+
+    def test_no_request_is_lost_with_infinite_retries(self, outage):
+        assert outage.stats.requests_failed == 0
+
+    def test_recovery_time_is_short(self, outage):
+        # The crashed server serves again within a few client-timeout
+        # periods of its restart.
+        assert outage.recovery_time is not None
+        assert outage.recovery_time < 1.5
+
+    def test_fairness_returns_after_rejoin(self, outage):
+        assert outage.jain_before > 0.9
+        # Acceptance: Jain within 5% of the pre-crash level after rejoin.
+        assert outage.jain_after >= outage.jain_before - 0.05
+
+    def test_report_renders(self, outage):
+        text = outage.report()
+        assert "recovery time" in text
+        assert "Jain" in text

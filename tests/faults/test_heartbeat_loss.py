@@ -1,0 +1,134 @@
+"""DESIGN §6 failure promises: heartbeat loss, client exit, table sync."""
+
+import pytest
+
+from repro.faults import (ClientDisconnect, FaultInjector, FaultPlan,
+                          HeartbeatLoss, LinkFault)
+from repro.fs.hashing import ConsistentHashRing
+from repro.units import MB
+
+
+def _one_write(cluster, client, path, out=None):
+    def app():
+        yield from client.create(path)
+        yield from client.write(path, 0, MB)
+        if out is not None:
+            out["done"] = True
+
+    cluster.engine.process(app())
+
+
+class TestHeartbeatLoss:
+    def test_loss_inactivates_then_resume_reactivates(self, make_cluster,
+                                                      job):
+        cluster = make_cluster(n_servers=1, heartbeat_interval=0.2,
+                               heartbeat_timeout=0.6,
+                               expire_check_interval=0.1)
+        client = cluster.add_client(job(1), client_id="c0")
+        plan = FaultPlan([HeartbeatLoss(start=0.3, stop=1.5)])
+        FaultInjector(cluster, plan).arm()
+        _one_write(cluster, client, "/fs/d/f")
+        server = cluster.servers["bb0"]
+
+        # Before the loss window the job registers and beats normally.
+        cluster.run(until=0.25)
+        assert server.monitor.table.is_active(1)
+        assert server.pool.mapped_clients == ["c0"]
+
+        # Silence past the timeout: inactive, mappings destroyed (§6).
+        cluster.run(until=1.4)
+        assert cluster.fault_stats.heartbeats_dropped > 0
+        assert not server.monitor.table.is_active(1)
+        assert server.pool.mapped_clients == []
+
+        # Beats resume after the window: the job comes back.
+        cluster.run(until=2.5)
+        assert server.monitor.table.is_active(1)
+
+    def test_expiry_retokenises_survivors(self, make_cluster, job):
+        # Two jobs; one goes silent. After expiry the scheduler's token
+        # assignment must be rebuilt over the survivor only.
+        cluster = make_cluster(n_servers=1, heartbeat_interval=0.2,
+                               heartbeat_timeout=0.6,
+                               expire_check_interval=0.1)
+        c1 = cluster.add_client(job(1, user="alice"), client_id="c1")
+        c2 = cluster.add_client(job(2, user="bob"), client_id="c2")
+        plan = FaultPlan([HeartbeatLoss(start=0.3, stop=10.0,
+                                        client_id="c1")])
+        FaultInjector(cluster, plan).arm()
+        _one_write(cluster, c1, "/fs/d/f1")
+        _one_write(cluster, c2, "/fs/d/f2")
+        server = cluster.servers["bb0"]
+
+        cluster.run(until=0.25)
+        active = {j.job_id for j in server.monitor.active_jobs()}
+        assert active == {1, 2}
+
+        cluster.run(until=2.0)
+        active = {j.job_id for j in server.monitor.active_jobs()}
+        assert active == {2}
+        # Only job 1's beats were suppressed; c2 kept its mapping.
+        assert server.pool.mapped_clients == ["c2"]
+
+
+class TestClientDisconnect:
+    def test_abrupt_exit_cleans_up_via_expiry(self, make_cluster, job):
+        cluster = make_cluster(n_servers=1, heartbeat_interval=0.2,
+                               heartbeat_timeout=0.6,
+                               expire_check_interval=0.1)
+        client = cluster.add_client(job(1), client_id="c0")
+        plan = FaultPlan([ClientDisconnect("c0", at=0.4)])
+        FaultInjector(cluster, plan).arm()
+        _one_write(cluster, client, "/fs/d/f")
+        server = cluster.servers["bb0"]
+
+        cluster.run(until=0.35)
+        assert server.pool.mapped_clients == ["c0"]
+
+        cluster.run(until=2.0)
+        assert client.closed
+        assert cluster.fault_stats.client_disconnects == 1
+        # No goodbye was sent; heartbeat expiry did the cleanup.
+        assert server.pool.mapped_clients == []
+        assert not server.monitor.table.is_active(1)
+
+
+class TestTableSync:
+    def test_partition_diverges_then_lambda_sync_reconverges(
+            self, make_cluster, job):
+        # Jobs pinned to disjoint servers; each server learns the other
+        # job only via λ-sync. A full bb0<->bb1 partition makes the new
+        # job invisible to the far server; healing re-converges tables.
+        cluster = make_cluster(n_servers=2, sync_interval=0.1,
+                               sync_timeout=0.1)
+        ring = ConsistentHashRing(["bb0", "bb1"])
+        pinned = {}
+        i = 0
+        while len(pinned) < 2:
+            path = f"/fs/d/pin-{i}"
+            pinned.setdefault(ring.lookup(path), path)
+            i += 1
+
+        plan = FaultPlan([LinkFault(start=0.0, stop=1.0, a="bb0", b="bb1",
+                                    drop_prob=1.0)])
+        FaultInjector(cluster, plan).arm()
+        c1 = cluster.add_client(job(1, user="alice"), client_id="c1")
+        c2 = cluster.add_client(job(2, user="bob"), client_id="c2")
+        _one_write(cluster, c1, pinned["bb0"])
+        _one_write(cluster, c2, pinned["bb1"])
+        bb0, bb1 = cluster.servers["bb0"], cluster.servers["bb1"]
+
+        # During the partition each server only knows its local job.
+        cluster.run(until=0.9)
+        assert bb0.monitor.table.is_active(1)
+        assert not bb0.monitor.table.is_active(2)
+        assert bb1.monitor.table.is_active(2)
+        assert not bb1.monitor.table.is_active(1)
+        assert bb0.controller.degraded_rounds > 0
+        assert bb1.controller.degraded_rounds > 0
+        assert cluster.fault_stats.degraded_sync_rounds > 0
+
+        # Healed: the next sync rounds merge the tables back together.
+        cluster.run(until=2.0)
+        assert bb0.monitor.table.is_active(2)
+        assert bb1.monitor.table.is_active(1)

@@ -1,0 +1,107 @@
+"""Injector wiring and the package's core promise: determinism.
+
+Same seed + same plan must produce bit-identical traces — the sampler's
+raw completion records, the simulated end time, and every fault counter.
+"""
+
+import pytest
+
+from repro.bb import Cluster, ClusterConfig, ServerConfig
+from repro.bb.client import ClientConfig
+from repro.core import JobInfo
+from repro.errors import ConfigError
+from repro.faults import (FaultInjector, FaultPlan, LinkFault, ServerCrash,
+                          StorageFault)
+from repro.faults.injector import _REQ_TAG
+from repro.ucx.rpc import REQ_TAG
+from repro.units import MB
+
+
+def test_req_tag_mirrors_rpc_layer():
+    # The injector classifies heartbeats without importing repro.ucx.rpc;
+    # the mirrored constant must never drift.
+    assert _REQ_TAG == REQ_TAG
+
+
+class TestArming:
+    def test_arm_twice_rejected(self, make_cluster):
+        cluster = make_cluster()
+        injector = FaultInjector(
+            cluster, FaultPlan([ServerCrash("bb0", at=1.0)]))
+        injector.arm()
+        with pytest.raises(ConfigError):
+            injector.arm()
+
+    def test_unknown_crash_server_rejected(self, make_cluster):
+        cluster = make_cluster()
+        injector = FaultInjector(
+            cluster, FaultPlan([ServerCrash("bb9", at=1.0)]))
+        with pytest.raises(ConfigError):
+            injector.arm()
+
+    def test_unknown_storage_server_rejected(self, make_cluster):
+        cluster = make_cluster()
+        injector = FaultInjector(
+            cluster,
+            FaultPlan([StorageFault("bb9", start=0.0, stop=1.0)]))
+        with pytest.raises(ConfigError):
+            injector.arm()
+
+    def test_empty_plan_installs_no_filter(self, make_cluster):
+        cluster = make_cluster()
+        FaultInjector(cluster, FaultPlan([])).arm()
+        assert cluster.fabric._fault_filter is None
+
+
+def _run_scenario(seed):
+    """A lively 2-server run with probabilistic drops, EIO and a crash."""
+    cfg = ClusterConfig(
+        n_servers=2, policy="job-fair", seed=seed,
+        journal=True, storage_backend="log",
+        client=ClientConfig(rpc_timeout=0.2, retry_backoff=0.02),
+        server=ServerConfig(sync_timeout=0.4))
+    cluster = Cluster(cfg)
+    cluster.fs.makedirs("/fs/d")
+    plan = FaultPlan([
+        ServerCrash("bb0", at=0.8, restart_at=1.6),
+        LinkFault(start=0.3, stop=2.0, drop_prob=0.25),
+        StorageFault("bb0", start=0.3, stop=1.2, error_rate=0.25),
+        StorageFault("bb1", start=0.3, stop=1.2, error_rate=0.25),
+    ])
+    FaultInjector(cluster, plan).arm()
+    engine = cluster.engine
+    for i in range(3):
+        client = cluster.add_client(
+            JobInfo(job_id=i + 1, user=f"u{i}", size=1),
+            client_id=f"c{i}")
+
+        def app(client=client, i=i):
+            # Keep traffic flowing through every fault window.
+            path = f"/fs/d/f{i}"
+            yield from client.create(path)
+            k = 0
+            while engine.now < 2.5:
+                yield from client.write(path, (k % 8) * MB, MB)
+                yield from client.read(path, (k % 8) * MB, MB)
+                k += 1
+
+        engine.process(app())
+    cluster.run(until=4.0)
+    sampler = cluster.sampler
+    return (tuple(sampler._times), tuple(sampler._jobs),
+            tuple(sampler._bytes), tuple(sampler._ops),
+            cluster.engine.now,
+            tuple(sorted(cluster.fault_stats.snapshot().items())))
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan_bit_identical(self):
+        assert _run_scenario(7) == _run_scenario(7)
+
+    def test_faults_actually_fired(self):
+        trace = _run_scenario(7)
+        stats = dict(trace[-1])
+        assert stats["server_crashes"] == 1
+        assert stats["server_recoveries"] == 1
+        assert stats["messages_dropped"] > 0
+        assert stats["storage_errors"] > 0

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.metrics import ThroughputSampler
 
 
@@ -114,3 +115,67 @@ class TestIncrementalAggregatesMatchBruteForce:
             expected = expected / (t1 - t0) if t1 > t0 else 0.0
             got = sampler.window_throughput(t0, t1, job_id=job)
             assert got == pytest.approx(expected), (t0, t1, job)
+
+
+class TestBinnedMode:
+    """On-the-fly binning: bounded memory, aggregate-exact answers."""
+
+    def test_bin_interval_validated(self):
+        with pytest.raises(ConfigError):
+            ThroughputSampler(bin_interval=0.0)
+        with pytest.raises(ConfigError):
+            ThroughputSampler(bin_interval=-1.0)
+
+    @staticmethod
+    def _pair():
+        raw = ThroughputSampler()
+        binned = ThroughputSampler(bin_interval=0.5)
+        for rec in [(0.5, 1, 100, "write"), (1.2, 2, 50, "read"),
+                    (1.5, 1, 100, "write"), (2.5, 1, 100, "read")]:
+            raw.record(*rec)
+            binned.record(*rec)
+        return raw, binned
+
+    def test_aggregates_match_raw_mode(self):
+        raw, binned = self._pair()
+        assert len(binned) == len(raw)
+        assert binned.job_ids() == raw.job_ids()
+        assert binned.total_bytes() == raw.total_bytes()
+        assert binned.total_bytes(1) == raw.total_bytes(1)
+        assert binned.op_count(op="write") == raw.op_count(op="write")
+        assert binned.op_count(1, "read") == raw.op_count(1, "read")
+
+    def test_series_matches_at_bin_resolution(self):
+        raw, binned = self._pair()
+        for job in (None, 1, 2):
+            t_r, v_r = raw.series(job, interval=0.5, start=0.0, end=3.0)
+            t_b, v_b = binned.series(job, interval=0.5, start=0.0, end=3.0)
+            assert list(t_r) == list(t_b)
+            assert list(v_r) == list(v_b)
+
+    def test_window_throughput_on_aligned_windows(self):
+        raw, binned = self._pair()
+        for t0, t1 in [(0.0, 2.0), (0.5, 1.5), (1.0, 3.0), (0.0, 3.0)]:
+            for job in (None, 1, 2):
+                assert binned.window_throughput(t0, t1, job) == pytest.approx(
+                    raw.window_throughput(t0, t1, job)), (t0, t1, job)
+
+    def test_fractional_window_apportions_bins(self):
+        binned = ThroughputSampler(bin_interval=1.0)
+        binned.record(0.5, 1, 100, "write")
+        # Half of the [0, 1) bin overlaps [0.5, 1.5): 50 B over 1 s.
+        assert binned.window_throughput(0.5, 1.5) == pytest.approx(50.0)
+
+    def test_memory_is_bounded_by_duration_not_records(self):
+        binned = ThroughputSampler(bin_interval=1.0)
+        for i in range(10_000):
+            binned.record(i * 0.001, 1, 10, "write")  # all within 10 s
+        assert len(binned) == 10_000
+        assert len(binned._total_bins) == 10
+        assert binned._times == []  # no raw records retained
+
+    def test_empty_binned_series_and_window(self):
+        binned = ThroughputSampler(bin_interval=1.0)
+        times, rates = binned.series(interval=1.0)
+        assert len(times) == 1 and rates[0] == 0.0
+        assert binned.window_throughput(0.0, 5.0) == 0.0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import UCXError
+from repro.errors import RpcTimeout, UCXError
 from repro.net import Fabric
 from repro.sim import Engine
 from repro.ucx import RpcClient, RpcServer, UCPContext
@@ -148,3 +148,81 @@ def test_server_counts_calls(env):
     eng.process(proc())
     eng.run()
     assert server.calls_received == 2
+
+
+class TestTimeouts:
+    def test_unanswered_call_times_out(self, env):
+        eng, cw, sw = env
+        RpcServer(sw, lambda req: None)  # never replies
+        client = RpcClient(cw, sw.address)
+        caught = []
+
+        def proc():
+            try:
+                yield client.call("x", timeout=0.5)
+            except RpcTimeout as exc:
+                caught.append((eng.now, str(exc)))
+
+        eng.process(proc())
+        eng.run()
+        assert caught and caught[0][0] == pytest.approx(0.5)
+        assert "timed out" in caught[0][1]
+        assert client.timeouts == 1
+        assert client.in_flight == 0
+
+    def test_reply_before_deadline_wins(self, env):
+        eng, cw, sw = env
+        RpcServer(sw, lambda req: req.reply("fast"))
+        client = RpcClient(cw, sw.address)
+        got = []
+
+        def proc():
+            got.append((yield client.call("x", timeout=5.0)))
+
+        eng.process(proc())
+        eng.run()
+        assert got == ["fast"]
+        assert client.timeouts == 0
+
+    def test_late_reply_after_timeout_is_unmatched(self, env):
+        eng, cw, sw = env
+        pending = []
+        RpcServer(sw, pending.append)
+
+        def slow_replier():
+            yield eng.timeout(1.0)
+            pending[0].reply("too late")
+
+        client = RpcClient(cw, sw.address)
+        outcome = []
+
+        def proc():
+            try:
+                yield client.call("x", timeout=0.2)
+            except RpcTimeout:
+                outcome.append("timeout")
+
+        eng.process(proc())
+        eng.process(slow_replier())
+        eng.run()
+        # The call failed at 0.2 s; the 1 s reply found no pending call
+        # and was absorbed, not raised into anyone's process.
+        assert outcome == ["timeout"]
+        assert client.unmatched_responses == 1
+
+    def test_no_timeout_keeps_legacy_behaviour(self, env):
+        eng, cw, sw = env
+        pending = []
+        RpcServer(sw, pending.append)
+        client = RpcClient(cw, sw.address)
+        got = []
+
+        def proc():
+            got.append((yield client.call("x")))
+
+        eng.process(proc())
+        eng.run(until=10.0)
+        assert got == []            # still waiting, no spurious failure
+        pending[0].reply("eventually")
+        eng.run()
+        assert got == ["eventually"]

@@ -82,6 +82,39 @@ class TestWorker:
         ep.send("x", payload=1)
         eng.run()
         assert len(ctx_b.dropped) == 1
+        assert ctx_b.dropped_count == 1
+
+    def test_dropped_ring_is_bounded(self, env):
+        # The diagnostic ring keeps the last 64 messages; the counter
+        # keeps the true total (long fault runs must not grow memory).
+        eng, _, ctx_a, ctx_b = env
+        wa = ctx_a.create_worker("w")
+        wb = ctx_b.create_worker("w")
+        ep = wa.create_endpoint(wb.address)
+        wb.close()
+        for i in range(200):
+            ep.send("x", payload=i)
+        eng.run()
+        assert ctx_b.dropped_count == 200
+        assert len(ctx_b.dropped) == 64
+        assert [m.payload for m in ctx_b.dropped] == list(range(136, 200))
+
+    def test_downed_context_drops_and_counts(self, env):
+        eng, _, ctx_a, ctx_b = env
+        wa = ctx_a.create_worker("w")
+        wb = ctx_b.create_worker("w")
+        got = []
+        wb.on("data", lambda msg: got.append(msg.payload))
+        ctx_b.down = True
+        wa.create_endpoint(wb.address).send("data", payload=1)
+        eng.run()
+        assert got == []
+        assert ctx_b.dropped_count == 1
+        # Back up: traffic flows again.
+        ctx_b.down = False
+        wa.create_endpoint(wb.address).send("data", payload=2)
+        eng.run()
+        assert got == [2]
 
     def test_closed_worker_rejects_use(self, env):
         _, _, ctx_a, _ = env
