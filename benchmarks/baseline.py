@@ -1,231 +1,19 @@
-"""Benchmark-regression baseline runner.
+"""Compatibility shim: the benchmark runner lives in :mod:`repro.bench`.
 
-Executes the hot-path micro kernels plus one representative contended
-system run and emits ``BENCH_<rev>.json`` with per-kernel throughput
-(ops/sec), simulation event rates (events/sec), and wall-clock seconds.
-``scripts/bench_compare.py`` diffs two of these files and fails on
-regression — CI runs this in ``--quick`` mode as a smoke job.
-
-Usage::
+Usage (identical to before)::
 
     PYTHONPATH=src python benchmarks/baseline.py [--quick] [--out PATH]
 
-The runner deliberately uses only APIs that exist since the seed
-revision, so the identical file can be pointed at an older checkout to
-produce a comparison baseline.
+or, equivalently::
+
+    PYTHONPATH=src python -m repro bench [--quick] [--out PATH]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
-import platform
-import subprocess
 import sys
-import time
-from typing import Callable, Dict
 
-import numpy as np
-
-from repro.bb import Cluster, ClusterConfig, ServerConfig
-from repro.core import JobInfo, Policy, StatisticalTokenScheduler, TokenAssignment
-from repro.sim.engine import Engine
-from repro.units import GB, MB
-
-
-class _Req:
-    __slots__ = ("job_id", "cost")
-
-    def __init__(self, job_id: int):
-        self.job_id = job_id
-        self.cost = 1.0
-
-
-def _jobs(n: int, users: int = 4, groups: int = 2):
-    return [JobInfo(job_id=i, user=f"u{i % users}", group=f"g{i % groups}",
-                    size=(i % 8) + 1) for i in range(n)]
-
-
-def _time_kernel(fn: Callable[[], int], rounds: int) -> Dict[str, float]:
-    """Run *fn* (returns ops done) *rounds* times; report best-round rate."""
-    best = float("inf")
-    total_wall = 0.0
-    ops = 0
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        ops = fn()
-        dt = time.perf_counter() - t0
-        total_wall += dt
-        if dt < best:
-            best = dt
-    return {
-        "wall_s": round(best, 6),
-        "wall_mean_s": round(total_wall / rounds, 6),
-        "ops": ops,
-        "ops_per_s": round(ops / best, 1),
-    }
-
-
-# ---------------------------------------------------------------- kernels
-def bench_scheduler_enqueue_dequeue() -> int:
-    """The arbitration hot path: 16 jobs, 64-request enqueue/dequeue cycles."""
-    policy = Policy.parse("job-fair")
-    scheduler = StatisticalTokenScheduler(policy, np.random.default_rng(0))
-    scheduler.on_jobs_changed(_jobs(16), 0.0)
-    requests = [_Req(i % 16) for i in range(64)]
-    cycles = 200
-    for _ in range(cycles):
-        for request in requests:
-            scheduler.enqueue(request, 0.0)
-        for _ in range(len(requests)):
-            scheduler.dequeue(0.0)
-    return cycles * 2 * len(requests)
-
-
-def bench_token_draw() -> int:
-    """Cumulative-boundary search over a 64-job assignment."""
-    assignment = TokenAssignment({i: float(i + 1) for i in range(64)})
-    us = np.random.default_rng(0).random(5000).tolist()
-    reps = 10
-    draw = assignment.draw
-    for _ in range(reps):
-        for u in us:
-            draw(u)
-    return reps * len(us)
-
-
-def bench_policy_shares_composite() -> int:
-    """Eq. 1 chain evaluation for a three-tier policy over 64 jobs."""
-    policy = Policy.parse("group-user-size-fair")
-    population = _jobs(64)
-    reps = 300
-    for _ in range(reps):
-        policy.shares(population)
-    return reps
-
-
-def bench_engine_timeout_churn() -> int:
-    """Raw DES kernel throughput: schedule/fire a storm of timeouts."""
-    engine = Engine()
-    n_procs, n_ticks = 50, 400
-
-    def ticker():
-        for _ in range(n_ticks):
-            yield engine.timeout(0.001)
-
-    for _ in range(n_procs):
-        engine.process(ticker())
-    engine.run()
-    return n_procs * n_ticks
-
-
-def _bench_system(contended: bool, n_writes: int) -> Dict[str, float]:
-    """A representative 3-job system run on one 4-worker server.
-
-    *contended*: every write targets the same byte range of one shared
-    file (worst-case writer-vs-writer lock conflicts); otherwise each
-    job writes its own region (lock-free data path).
-    """
-    cluster = Cluster(ClusterConfig(
-        n_servers=1, policy="job-fair",
-        server=ServerConfig(bandwidth=1 * GB, n_workers=4)))
-    cluster.fs.makedirs("/fs/data")
-    path = "/fs/data/shared"
-    engine = cluster.engine
-
-    def app(client, idx):
-        yield from client.create(path)
-        offset = 0 if contended else idx * 64 * MB
-        for _ in range(n_writes):
-            yield from client.write(path, offset, 4 * MB)
-
-    apps = []
-    for idx in range(3):
-        client = cluster.add_client(
-            JobInfo(job_id=idx + 1, user=f"u{idx}", size=1))
-        apps.append(engine.process(app(client, idx)))
-
-    def stop_when_done():
-        yield engine.all_of(apps)
-        engine.request_stop()
-
-    engine.process(stop_when_done())
-    t0 = time.perf_counter()
-    cluster.run(until=3600.0)
-    wall = time.perf_counter() - t0
-    served = sum(s.served_requests for s in cluster.servers.values())
-    events = engine._seq  # total events ever scheduled
-    return {
-        "wall_s": round(wall, 6),
-        "ops": served,
-        "ops_per_s": round(served / wall, 1),
-        "events": events,
-        "events_per_s": round(events / wall, 1),
-        "sim_time_s": round(engine.now, 6),
-    }
-
-
-# ------------------------------------------------------------------ driver
-def git_rev() -> str:
-    try:
-        rev = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=os.path.dirname(os.path.abspath(__file__)),
-            capture_output=True, text=True, check=True).stdout.strip()
-    except Exception:
-        return "unknown"
-    dirty = subprocess.run(
-        ["git", "status", "--porcelain", "--untracked-files=no"],
-        cwd=os.path.dirname(os.path.abspath(__file__)),
-        capture_output=True, text=True).stdout.strip()
-    return f"{rev}-dirty" if dirty else rev
-
-
-def run_all(quick: bool) -> Dict[str, Dict[str, float]]:
-    rounds = 3 if quick else 7
-    writes = 60 if quick else 200
-    results = {
-        "scheduler_enqueue_dequeue":
-            _time_kernel(bench_scheduler_enqueue_dequeue, rounds),
-        "token_draw": _time_kernel(bench_token_draw, rounds),
-        "policy_shares_composite":
-            _time_kernel(bench_policy_shares_composite, rounds),
-        "engine_timeout_churn":
-            _time_kernel(bench_engine_timeout_churn, rounds),
-        "system_contended_write": _bench_system(True, writes),
-        "system_disjoint_write": _bench_system(False, writes),
-    }
-    return results
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="fewer rounds / smaller system run (CI smoke)")
-    parser.add_argument("--out", default=None,
-                        help="output path (default BENCH_<rev>.json in cwd)")
-    args = parser.parse_args(argv)
-
-    rev = git_rev()
-    results = run_all(args.quick)
-    payload = {
-        "rev": rev,
-        "quick": args.quick,
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "python": platform.python_version(),
-        "results": results,
-    }
-    out = args.out or f"BENCH_{rev}.json"
-    with open(out, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    for name, r in results.items():
-        rate = r.get("ops_per_s", 0.0)
-        print(f"{name:32s} {rate:>14,.0f} ops/s   wall {r['wall_s']:.4f}s")
-    print(f"wrote {out}")
-    return 0
-
+from repro.bench import git_rev, main, run_all  # noqa: F401  (re-exports)
 
 if __name__ == "__main__":
     sys.exit(main())

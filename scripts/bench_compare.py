@@ -1,17 +1,20 @@
 #!/usr/bin/env python
 """Compare a fresh ``BENCH_*.json`` against a committed baseline.
 
-Exits non-zero when any kernel's ``ops_per_s`` regressed by more than
-``--threshold`` (default 15%) relative to the baseline. Improvements
-and new kernels are reported but never fail the check.
+Prints a per-kernel GitHub-flavoured markdown table and exits non-zero
+when any kernel's ``ops_per_s`` regressed by more than ``--threshold``
+(default 15%) relative to the baseline, or when a baseline kernel is
+missing from the current run. Improvements are reported; kernels new in
+the current run are listed but never gated (they have no baseline).
 
 Usage::
 
     python scripts/bench_compare.py CURRENT.json [BASELINE.json] \
-        [--threshold 0.15]
+        [--threshold 0.15] [--md PATH]
 
 With no explicit baseline, the newest committed ``BENCH_*.json`` (by
-its ``generated_at`` stamp) in the repository root is used.
+its ``generated_at`` stamp) in the repository root is used. ``--md``
+additionally writes the table to *PATH* (e.g. for a CI job summary).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import glob
 import json
 import os
 import sys
+from typing import List, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -38,6 +42,44 @@ def newest_committed_baseline(exclude: str) -> str:
     return max(candidates, key=lambda p: load(p).get("generated_at", ""))
 
 
+def compare(current: dict, baseline: dict,
+            threshold: float) -> Tuple[List[str], List[Tuple[str, str]]]:
+    """Build the markdown table rows and the list of failures."""
+    rows = ["| kernel | baseline ops/s | current ops/s | ratio | status |",
+            "|---|---:|---:|---:|---|"]
+    failures: List[Tuple[str, str]] = []
+    base_results = baseline.get("results", {})
+    cur_results = current.get("results", {})
+
+    for name, base in sorted(base_results.items()):
+        cur = cur_results.get(name)
+        if cur is None:
+            rows.append(f"| {name} | — | — | — | **MISSING** |")
+            failures.append((name, "kernel missing from current run"))
+            continue
+        base_rate = base.get("ops_per_s", 0)
+        cur_rate = cur.get("ops_per_s", 0)
+        if base_rate <= 0:
+            continue
+        ratio = cur_rate / base_rate
+        if ratio < 1.0 - threshold:
+            status = "**REGRESSION**"
+            failures.append(
+                (name, f"{base_rate:,.0f} -> {cur_rate:,.0f} ops/s "
+                       f"({ratio:.2f}x)"))
+        elif ratio >= 1.0 + threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(f"| {name} | {base_rate:,.0f} | {cur_rate:,.0f} | "
+                    f"{ratio:.2f}x | {status} |")
+
+    for name in sorted(set(cur_results) - set(base_results)):
+        cur_rate = cur_results[name].get("ops_per_s", 0)
+        rows.append(f"| {name} | — | {cur_rate:,.0f} | — | new |")
+    return rows, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly generated BENCH json")
@@ -45,47 +87,33 @@ def main(argv=None) -> int:
                         help="baseline BENCH json (default: newest committed)")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="max tolerated fractional regression (0.15 = 15%%)")
+    parser.add_argument("--md", default=None,
+                        help="also write the markdown table to this path")
     args = parser.parse_args(argv)
 
     current = load(args.current)
     baseline_path = args.baseline or newest_committed_baseline(args.current)
     baseline = load(baseline_path)
 
+    rows, failures = compare(current, baseline, args.threshold)
+    table = "\n".join(rows)
+
     print(f"current  rev={current.get('rev')} ({args.current})")
     print(f"baseline rev={baseline.get('rev')} ({baseline_path})")
     print(f"threshold: {args.threshold:.0%} regression\n")
-    header = f"{'kernel':32s} {'baseline/s':>14s} {'current/s':>14s} {'ratio':>7s}"
-    print(header)
-    print("-" * len(header))
+    print(table)
 
-    regressions = []
-    for name, base in sorted(baseline.get("results", {}).items()):
-        cur = current.get("results", {}).get(name)
-        if cur is None:
-            print(f"{name:32s} {'(missing in current)':>14s}")
-            regressions.append((name, "kernel missing from current run"))
-            continue
-        base_rate, cur_rate = base.get("ops_per_s", 0), cur.get("ops_per_s", 0)
-        if base_rate <= 0:
-            continue
-        ratio = cur_rate / base_rate
-        flag = ""
-        if ratio < 1.0 - args.threshold:
-            flag = "  <-- REGRESSION"
-            regressions.append(
-                (name, f"{base_rate:,.0f} -> {cur_rate:,.0f} ops/s "
-                       f"({ratio:.2f}x)"))
-        print(f"{name:32s} {base_rate:>14,.0f} {cur_rate:>14,.0f} "
-              f"{ratio:>6.2f}x{flag}")
+    if args.md:
+        with open(args.md, "w") as fh:
+            fh.write(f"**bench:** `{current.get('rev')}` vs "
+                     f"`{baseline.get('rev')}` "
+                     f"(threshold {args.threshold:.0%})\n\n")
+            fh.write(table + "\n")
 
-    for name in sorted(set(current.get("results", {}))
-                       - set(baseline.get("results", {}))):
-        print(f"{name:32s} {'(new kernel)':>14s}")
-
-    if regressions:
-        print(f"\nFAIL: {len(regressions)} kernel(s) regressed "
-              f"beyond {args.threshold:.0%}:")
-        for name, detail in regressions:
+    if failures:
+        print(f"\nFAIL: {len(failures)} kernel(s) regressed "
+              f"beyond {args.threshold:.0%} or went missing:")
+        for name, detail in failures:
             print(f"  - {name}: {detail}")
         return 1
     print("\nOK: no kernel regressed beyond threshold")

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 from ..core.jobinfo import JobInfo
 from ..errors import ConfigError, FileNotFound, RpcTimeout
 from ..fs.filesystem import ThemisFS
-from ..fs.striping import map_range
+from ..fs.striping import map_range, server_spans
 from ..metrics.faultstats import FaultStats
 from ..net.fabric import Fabric
 from ..sim.process import Event
@@ -479,10 +479,6 @@ class Client:
     # --------------------------------------------------------------- routing
     @staticmethod
     def _split(inode, offset: int, size: int) -> Dict[str, Tuple[int, int]]:
-        """Per-server ``(first_offset, total_bytes)`` of a byte range."""
-        out: Dict[str, Tuple[int, int]] = {}
-        for piece in map_range(inode.stripe, offset, size):
-            first, total = out.get(piece.server, (piece.file_offset, 0))
-            out[piece.server] = (min(first, piece.file_offset),
-                                 total + piece.length)
-        return out
+        """Per-server ``(first_offset, total_bytes)`` of a byte range
+        (memoised on the stripe spec — see :func:`server_spans`)."""
+        return server_spans(inode.stripe, offset, size)

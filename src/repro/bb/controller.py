@@ -14,15 +14,31 @@ hosts), every server solves the same placement-constrained assignment
 and installs its own row, so the cluster-wide split matches the global
 policy even when files live on disjoint servers.
 
-λ-delayed fairness: every ``sync_interval`` seconds the controller
-exchanges snapshots with every peer over the server↔server UCP workers
-(the all-gather of §3.1). Each exchange is a request/response pair: the
-peer merges our snapshot and replies with its own.
+λ-delayed fairness: every ``sync_interval`` seconds the servers
+synchronise over the server↔server UCP workers (the all-gather of
+§3.1). Two wire protocols implement it:
+
+- **batched** (the default, ``ServerConfig.batched_sync``): each sync
+  epoch one *coordinator* — rotating by epoch index over the sorted
+  member names, so no server is a single point of coordination — pulls
+  every peer's snapshot, merges them, and scatters the merged table
+  plus the placement map back out: one gather→merge→scatter round per
+  epoch, ``2·(N-1)`` request/response pairs cluster-wide instead of the
+  pairwise exchange's ``N·(N-1)``. The push carries a content hash of
+  the merged state; a peer whose previous push had the same hash skips
+  the merge and token refresh entirely (the skip is trace-neutral: the
+  wire traffic and simulated timing are identical, only the redundant
+  host-side work is elided).
+- **pairwise** (``batched_sync=False``, the original protocol): every
+  server exchanges snapshots with every peer each round; each exchange
+  is a request/response pair where the peer merges our snapshot and
+  replies with its own.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Set
+from hashlib import blake2b
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from ..core.fairness import placement_shares
 from ..errors import RpcTimeout
@@ -31,11 +47,50 @@ from ..ucx import Address, RpcClient
 if TYPE_CHECKING:  # pragma: no cover
     from .server import Server
 
-__all__ = ["Controller"]
+__all__ = ["Controller", "set_sync_hash_skip_enabled",
+           "sync_hash_skip_enabled"]
 
 #: Estimated wire bytes per job-status-table entry (id, uid, gid, size,
 #: priority, status, heartbeat stamp).
 _ENTRY_WIRE_BYTES = 64
+
+#: Wire bytes of a pull probe / push acknowledgement (headers only).
+_PROBE_WIRE_BYTES = 16
+
+#: Process-wide switch for the push content-hash skip. Skipped and
+#: unskipped application are trace-identical (the skip only elides a
+#: no-op merge and a memoised token refresh); the toggle exists for the
+#: seed-equivalence suite and for measuring the skip's effect.
+_HASH_SKIP_ENABLED = True
+
+
+def set_sync_hash_skip_enabled(enabled: bool) -> None:
+    """Enable/disable the λ-sync push content-hash skip."""
+    global _HASH_SKIP_ENABLED
+    _HASH_SKIP_ENABLED = bool(enabled)
+
+
+def sync_hash_skip_enabled() -> bool:
+    """Whether push application skips on an unchanged content hash."""
+    return _HASH_SKIP_ENABLED
+
+
+def _content_hash(entries: List[dict], presence: Dict[str, List[int]]) -> str:
+    """Deterministic digest of a merged table + placement map.
+
+    Canonical order (entries by job id, hosts sorted) and exact float
+    ``repr`` make the digest a function of content only — two pushes
+    hash equal iff applying them is the same no-op.
+    """
+    h = blake2b(digest_size=16)
+    for entry in sorted(entries, key=lambda e: e["info"].job_id):
+        info = entry["info"]
+        h.update(repr((info.job_id, info.user, info.group, info.size,
+                       info.priority, entry["last_heartbeat"],
+                       entry["active"])).encode())
+    for host in sorted(presence):
+        h.update(repr((host, sorted(presence[host]))).encode())
+    return h.hexdigest()
 
 
 class Controller:
@@ -52,16 +107,22 @@ class Controller:
         self.sync_rounds = 0
         #: rounds completed on a partial table (some peer timed out).
         self.degraded_rounds = 0
+        #: epochs this controller drove as the rotating coordinator.
+        self.coordinated_rounds = 0
+        #: pushes applied as a no-op via the content-hash short circuit.
+        self.push_hash_skips = 0
+        self._last_push_hash: Optional[str] = None
         self._sync_process = None
 
     def reset(self) -> None:
-        """Forget peer-derived state (server crash): presence knowledge
-        and the refresh memo restart cold. Peer RPC clients stay wired —
-        the endpoints are addresses, not connections, and the λ loop
-        resumes using them after restart."""
+        """Forget peer-derived state (server crash): presence knowledge,
+        the refresh memo, and the push-hash memo restart cold. Peer RPC
+        clients stay wired — the endpoints are addresses, not
+        connections, and the λ loop resumes using them after restart."""
         self.presence.clear()
         self._table_version_seen = -1
         self._presence_seen = {}
+        self._last_push_hash = None
 
     # ---------------------------------------------------------------- tokens
     def refresh_tokens(self, force: bool = False) -> bool:
@@ -127,65 +188,193 @@ class Controller:
 
     def _sync_loop(self):
         engine = self.server.engine
+        epoch = 1
         while True:
-            yield engine.timeout(self.sync_interval)
-            if self.server.crashed:
-                # A crashed server exchanges nothing; the loop idles
-                # until restart and then resumes the λ cadence.
-                continue
-            table = self.server.monitor.table
-            payload = self._payload()
-            size = _ENTRY_WIRE_BYTES * max(1, len(payload["entries"]))
-            timeout = self.server.config.sync_timeout
-            if timeout <= 0:
-                # Lock-step all-gather (original behaviour, byte-
-                # identical traces when timeouts are disabled).
-                calls = [client.call("sync", payload, size=size)
-                         for client in self._peers.values()]
-                responses = yield engine.all_of(calls)
-                for resp in responses:
-                    table.merge(resp["entries"])
-                    self.presence[resp["host"]] = set(resp["host_jobs"])
+            if self.server.config.batched_sync:
+                # Epoch-aligned cadence: every server wakes at the same
+                # absolute times k·λ, so the epoch index — and with it
+                # the rotating coordinator — agrees cluster-wide even
+                # when individual rounds overrun.
+                target = epoch * self.sync_interval
+                if target > engine.now:
+                    yield engine.timeout(target - engine.now)
+                if not self.server.crashed:
+                    yield from self._batched_round(epoch)
+                # Skip past any epochs the round overran (strictly
+                # increasing, so the loop can never spin in place).
+                epoch = max(epoch + 1,
+                            int(engine.now / self.sync_interval) + 1)
             else:
-                # Per-peer timeout: issue every exchange up front, then
-                # harvest; a silent peer costs at most `timeout` and the
-                # round proceeds on the partial table (degraded mode).
-                calls = [(name, client.call("sync", payload, size=size,
-                                            timeout=timeout))
-                         for name, client in sorted(self._peers.items())]
-                degraded = False
-                for name, call in calls:
-                    try:
-                        resp = yield call
-                    except RpcTimeout:
-                        degraded = True
-                        continue
-                    table.merge(resp["entries"])
-                    self.presence[resp["host"]] = set(resp["host_jobs"])
-                if degraded:
-                    self.degraded_rounds += 1
-                    if self.server.fault_stats is not None:
-                        self.server.fault_stats.degraded_sync_rounds += 1
-            self.sync_rounds += 1
-            self.refresh_tokens()
+                yield engine.timeout(self.sync_interval)
+                if self.server.crashed:
+                    # A crashed server exchanges nothing; the loop idles
+                    # until restart and then resumes the λ cadence.
+                    continue
+                yield from self._pairwise_round()
+
+    # ------------------------------------------------------- batched protocol
+    def _batched_round(self, epoch: int):
+        """One gather→merge→scatter epoch, if we are its coordinator."""
+        members = sorted([self.server.name, *self._peers])
+        if members[epoch % len(members)] != self.server.name:
+            return
+        self.coordinated_rounds += 1
+        table = self.server.monitor.table
+        timeout = self.server.config.sync_timeout
+        timeout = timeout if timeout > 0 else None
+
+        # Gather: probe every peer for its snapshot, harvest in name
+        # order; a silent peer costs at most `timeout` and the round
+        # proceeds on the partial table (degraded mode).
+        probe = {"kind": "pull", "host": self.server.name}
+        pulls = [(name, self._peers[name].call(
+                    "sync", probe, size=_PROBE_WIRE_BYTES, timeout=timeout))
+                 for name in sorted(self._peers)]
+        degraded = False
+        responders: List[str] = []
+        for name, call in pulls:
+            try:
+                resp = yield call
+            except RpcTimeout:
+                degraded = True
+                continue
+            table.merge(resp["entries"])
+            self.presence[resp["host"]] = set(resp["host_jobs"])
+            responders.append(name)
+
+        # Scatter: the merged table + placement map, stamped with a
+        # content hash so unchanged state costs the peers nothing.
+        self.presence[self.server.name] = \
+            self.server.monitor.active_local_jobs()
+        entries = table.snapshot()
+        presence = {host: sorted(jobs)
+                    for host, jobs in self.presence.items()}
+        digest = _content_hash(entries, presence)
+        push = {"kind": "push", "host": self.server.name,
+                "entries": entries, "presence": presence, "hash": digest}
+        size = _ENTRY_WIRE_BYTES * max(1, len(entries))
+        acks = [(name, self._peers[name].call(
+                    "sync", push, size=size, timeout=timeout))
+                for name in responders]
+        for name, call in acks:
+            try:
+                yield call
+            except RpcTimeout:
+                degraded = True
+
+        if degraded:
+            self.degraded_rounds += 1
+            if self.server.fault_stats is not None:
+                self.server.fault_stats.degraded_sync_rounds += 1
+        self._last_push_hash = digest
+        self.sync_rounds += 1
+        self.refresh_tokens()
+
+    def _answer_pull(self, rpc):
+        """A coordinator probed us: reply our snapshot after the
+        controller's processing time (serialisation cost, §5.6)."""
+        processing = self.server.config.sync_processing_time
+        if processing > 0:
+            yield self.server.engine.timeout(processing)
+        if self.server.crashed:
+            return  # crashed mid-processing: the reply is lost
+        payload = self._payload()
+        rpc.reply(payload,
+                  size=_ENTRY_WIRE_BYTES * max(1, len(payload["entries"])))
+
+    def _apply_push(self, rpc):
+        """A coordinator scattered the merged state: apply and ack.
+
+        When the push's content hash matches the last one we applied,
+        the merge would be a byte-for-byte no-op (entries merge by
+        strictly-newer heartbeat, so replaying an applied snapshot
+        changes nothing) and the token refresh would hit its memo — both
+        are skipped. The ack and its timing are identical either way, so
+        the skip never perturbs the simulated trace.
+        """
+        processing = self.server.config.sync_processing_time
+        if processing > 0:
+            yield self.server.engine.timeout(processing)
+        if self.server.crashed:
+            return  # crashed mid-processing: stale merge + ack lost
+        body = rpc.body
+        rpc.reply({"ok": True}, size=_PROBE_WIRE_BYTES)
+        self.sync_rounds += 1
+        digest = body["hash"]
+        if _HASH_SKIP_ENABLED and digest == self._last_push_hash:
+            self.push_hash_skips += 1
+            return
+        self.server.monitor.table.merge(body["entries"])
+        for host, jobs in body["presence"].items():
+            if host != self.server.name:
+                self.presence[host] = set(jobs)
+        self._last_push_hash = digest
+        self.refresh_tokens()
+
+    # ------------------------------------------------------ pairwise protocol
+    def _pairwise_round(self):
+        """One round of the original per-pair exchange protocol."""
+        engine = self.server.engine
+        table = self.server.monitor.table
+        payload = self._payload()
+        size = _ENTRY_WIRE_BYTES * max(1, len(payload["entries"]))
+        timeout = self.server.config.sync_timeout
+        if timeout <= 0:
+            # Lock-step all-gather (original behaviour, byte-
+            # identical traces when timeouts are disabled).
+            calls = [client.call("sync", payload, size=size)
+                     for client in self._peers.values()]
+            responses = yield engine.all_of(calls)
+            for resp in responses:
+                table.merge(resp["entries"])
+                self.presence[resp["host"]] = set(resp["host_jobs"])
+        else:
+            # Per-peer timeout: issue every exchange up front, then
+            # harvest; a silent peer costs at most `timeout` and the
+            # round proceeds on the partial table (degraded mode).
+            calls = [(name, client.call("sync", payload, size=size,
+                                        timeout=timeout))
+                     for name, client in sorted(self._peers.items())]
+            degraded = False
+            for name, call in calls:
+                try:
+                    resp = yield call
+                except RpcTimeout:
+                    degraded = True
+                    continue
+                table.merge(resp["entries"])
+                self.presence[resp["host"]] = set(resp["host_jobs"])
+            if degraded:
+                self.degraded_rounds += 1
+                if self.server.fault_stats is not None:
+                    self.server.fault_stats.degraded_sync_rounds += 1
+        self.sync_rounds += 1
+        self.refresh_tokens()
+
+    def _answer_pairwise(self, rpc):
+        """Peer pushed its snapshot (pairwise protocol): merge and reply
+        after the controller's processing time (§5.6)."""
+        processing = self.server.config.sync_processing_time
+        if processing > 0:
+            yield self.server.engine.timeout(processing)
+        if self.server.crashed:
+            return  # crashed mid-processing: stale merge + reply lost
+        table = self.server.monitor.table
+        table.merge(rpc.body["entries"])
+        self.presence[rpc.body["host"]] = set(rpc.body["host_jobs"])
+        payload = self._payload()
+        rpc.reply(payload,
+                  size=_ENTRY_WIRE_BYTES * max(1, len(payload["entries"])))
+        self.refresh_tokens()
 
     def handle_sync(self, rpc) -> None:
-        """Peer pushed its snapshot: merge and reply after the controller's
-        processing time (serialisation + merge cost, §5.6)."""
+        """Dispatch an inbound sync message by protocol role."""
         if self.server.crashed:
             return  # a dead server neither merges nor answers
-        def respond():
-            processing = self.server.config.sync_processing_time
-            if processing > 0:
-                yield self.server.engine.timeout(processing)
-            if self.server.crashed:
-                return  # crashed mid-processing: stale merge + reply lost
-            table = self.server.monitor.table
-            table.merge(rpc.body["entries"])
-            self.presence[rpc.body["host"]] = set(rpc.body["host_jobs"])
-            payload = self._payload()
-            rpc.reply(payload,
-                      size=_ENTRY_WIRE_BYTES * max(1, len(payload["entries"])))
-            self.refresh_tokens()
-
-        self.server.engine.process(respond())
+        kind = rpc.body.get("kind")
+        if kind == "pull":
+            self.server.engine.process(self._answer_pull(rpc))
+        elif kind == "push":
+            self.server.engine.process(self._apply_push(rpc))
+        else:
+            self.server.engine.process(self._answer_pairwise(rpc))

@@ -72,6 +72,11 @@ class ServerConfig:
     #: original lock-step exchange, which a dead peer would wedge — keep
     #: it 0 only for runs that never crash servers.
     sync_timeout: float = 0.0
+    #: λ-sync wire protocol: True (default) runs one coordinator-driven
+    #: gather→merge→scatter round per epoch (2·(N-1) message pairs
+    #: cluster-wide, content-hash skip on unchanged state); False runs
+    #: the original per-pair exchange (N·(N-1) pairs per epoch).
+    batched_sync: bool = True
 
     def __post_init__(self):
         if self.bandwidth <= 0 or self.n_workers < 1:

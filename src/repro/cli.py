@@ -18,6 +18,9 @@ Commands
     with journaling, log-structured storage and fault-tolerant clients
     enabled; prints recovery time, fairness through the outage, and the
     run's fault counters.
+``bench``
+    Run the hot-path benchmark kernels and write ``BENCH_<rev>.json``
+    (see :mod:`repro.bench`; compare with ``scripts/bench_compare.py``).
 """
 
 from __future__ import annotations
@@ -95,6 +98,13 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--crash-at", type=float, default=2.0)
     faults.add_argument("--restart-at", type=float, default=3.5)
     faults.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser(
+        "bench", help="run benchmark kernels, write BENCH_<rev>.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="fewer rounds / smaller system run (CI smoke)")
+    bench.add_argument("--out", default=None,
+                       help="output path (default BENCH_<rev>.json in cwd)")
     return parser
 
 
@@ -186,6 +196,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sharing(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "bench":
+            # Imported lazily: the bench kernels pull in the whole stack.
+            from .bench import run_and_write
+            return run_and_write(quick=args.quick, out=args.out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -21,11 +21,19 @@ implementation uses 0.5 s):
 4. Budgets are **hard** within the epoch, and a job arriving mid-epoch
    has no budget until the next boundary — the allocation lag ("long
    delay in I/O resource adjustment") §5.4 attributes to GIFT's mu.
+
+The reward LP is warm-started across epochs: steady workloads present
+the same (redeemers, bounds, spare) problem at consecutive boundaries,
+so solutions are memoized on the exact constraint set and the solver is
+skipped on a hit. HiGHS (via ``scipy.optimize.linprog``) accepts no
+starting basis, so reusing the previous solution outright — rather than
+seeding a new solve — is the strongest warm start available, and it is
+trace-safe: identical inputs would have produced the identical optimum.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
@@ -48,13 +56,21 @@ class GiftScheduler(Scheduler):
     #: a job's budget never falls below this fraction of its fair share.
     MIN_BUDGET_FRACTION = 0.5
 
-    def __init__(self, capacity: float, mu: float = 0.5):
+    #: LP solutions memoized for warm start (distinct constraint sets).
+    LP_MEMO_MAX = 32
+
+    def __init__(self, capacity: float, mu: float = 0.5,
+                 warm_start: bool = True):
         if capacity <= 0:
             raise SchedulerError(f"capacity must be positive: {capacity}")
         if mu <= 0:
             raise SchedulerError(f"mu must be positive: {mu}")
         self.capacity = float(capacity)   # bytes/second of the server
         self.mu = float(mu)               # allocation interval (seconds)
+        self.warm_start = bool(warm_start)
+        # (redeemers, bounds, spare) -> solution vector (or None on
+        # solver failure). Exact-input keys keep the memo trace-safe.
+        self._lp_memo: Dict[Any, Optional[Tuple[float, ...]]] = {}
         self.queues = QueueSet()
         self._active: List[JobInfo] = []
         self._epoch_end: Optional[float] = None
@@ -66,6 +82,7 @@ class GiftScheduler(Scheduler):
         self.coupons: Dict[int, float] = {}        # donated-bytes balance
         self.epochs = 0
         self.lp_calls = 0
+        self.lp_cache_hits = 0
 
     # ------------------------------------------------------------- interface
     def enqueue(self, request: Any, now: float) -> None:
@@ -172,16 +189,10 @@ class GiftScheduler(Scheduler):
             # sum(x) <= spare.
             bounds = [(0.0, min(headroom[j], self.coupons[j]))
                       for j in redeemers]
-            result = linprog(
-                c=-np.ones(len(redeemers)),
-                A_ub=np.ones((1, len(redeemers))),
-                b_ub=np.array([spare]),
-                bounds=bounds,
-                method="highs",
-            )
-            self.lp_calls += 1
-            if result.success:
-                for j, granted in zip(redeemers, result.x):
+            solution = self._solve_redemption(tuple(redeemers),
+                                              tuple(bounds), spare)
+            if solution is not None:
+                for j, granted in zip(redeemers, solution):
                     if granted > 0:
                         extra[j] = float(granted)
                         self.coupons[j] -= float(granted)
@@ -194,3 +205,36 @@ class GiftScheduler(Scheduler):
             for j in claimants:
                 extra[j] = extra.get(j, 0.0) + residual[j] * scale
         return extra
+
+    def _solve_redemption(
+            self, redeemers: Tuple[int, ...],
+            bounds: Tuple[Tuple[float, float], ...],
+            spare: float) -> Optional[Tuple[float, ...]]:
+        """Solve the coupon-redemption LP, warm-starting from the memo
+        when the exact constraint set repeats (steady workloads pose the
+        same problem every epoch). Returns the grant vector, or ``None``
+        when the solver failed."""
+        key = (redeemers, bounds, spare)
+        if self.warm_start:
+            try:
+                solution = self._lp_memo[key]
+            except KeyError:
+                pass
+            else:
+                self.lp_cache_hits += 1
+                return solution
+        result = linprog(
+            c=-np.ones(len(redeemers)),
+            A_ub=np.ones((1, len(redeemers))),
+            b_ub=np.array([spare]),
+            bounds=bounds,
+            method="highs",
+        )
+        self.lp_calls += 1
+        solution = tuple(float(x) for x in result.x) \
+            if result.success else None
+        if self.warm_start:
+            if len(self._lp_memo) >= self.LP_MEMO_MAX:
+                self._lp_memo.clear()
+            self._lp_memo[key] = solution
+        return solution

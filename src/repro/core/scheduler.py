@@ -121,6 +121,7 @@ class StatisticalTokenScheduler(Scheduler):
         self.wasted_draws = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.reinstalls_skipped = 0
         self._assignment_version = 0
         self._restricted_cache: dict = {}   # backlog tuple -> TokenAssignment
         self._fast_key: Optional[tuple] = None  # (assign ver, membership ver)
@@ -132,12 +133,24 @@ class StatisticalTokenScheduler(Scheduler):
 
     def on_jobs_changed(self, active_jobs: Sequence[JobInfo],
                         now: float) -> None:
-        shares = self.policy.shares(active_jobs)
-        self._install(TokenAssignment(shares) if shares else None)
+        self._install_shares(self.policy.shares(active_jobs))
 
     def set_assignment(self, shares, now: float) -> None:
-        positive = {j: s for j, s in shares.items() if s > 0}
-        self._install(TokenAssignment(positive) if positive else None)
+        self._install_shares({j: s for j, s in shares.items() if s > 0})
+
+    def _install_shares(self, shares: "dict[int, float]") -> None:
+        """Install *shares*, skipping the (cache-clearing) reinstall when
+        they are identical to the live assignment's constructor input —
+        a rebuilt assignment would be bit-identical, so keeping the warm
+        restricted-draw caches cannot change any draw."""
+        if not shares:
+            if self.assignment is not None:
+                self._install(None)
+            return
+        if self.assignment is not None and self.assignment.same_source(shares):
+            self.reinstalls_skipped += 1
+            return
+        self._install(TokenAssignment(shares))
 
     def _install(self, assignment: Optional[TokenAssignment]) -> None:
         self.assignment = assignment

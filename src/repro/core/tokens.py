@@ -93,6 +93,10 @@ class TokenAssignment:
         self._shares_list: List[float] = self._shares_arr.tolist()
         self._small = len(self.job_ids) < SMALL_N_THRESHOLD
         self._index = {job_id: i for i, job_id in enumerate(self.job_ids)}
+        # Raw constructor input, kept so the scheduler can recognise a
+        # reinstall of identical shares (see :meth:`same_source`).
+        self._source_items: Optional[Tuple[Tuple[int, float], ...]] = \
+            tuple(items)
 
     @property
     def shares(self) -> np.ndarray:
@@ -139,7 +143,20 @@ class TokenAssignment:
             self._shares_list = self._shares_arr.tolist()
             self._small = False
         self._index = {job_id: i for i, job_id in enumerate(job_ids)}
+        self._source_items = None  # restricted draws are never reinstalled
         return self
+
+    def same_source(self, shares: Dict[int, float]) -> bool:
+        """True if constructing from *shares* would reproduce this object
+        bit for bit (i.e. the raw constructor input is identical).
+
+        Lets the scheduler skip a reinstall — and keep its warm draw
+        caches — when the controller re-derives an unchanged share map.
+        """
+        source = self._source_items
+        if source is None or len(shares) != len(source):
+            return False
+        return sorted(shares.items()) == list(source)
 
     # ----------------------------------------------------------------- draws
     def draw(self, u: float) -> int:

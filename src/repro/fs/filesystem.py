@@ -30,9 +30,28 @@ from .backends import make_backend
 from .hashing import ConsistentHashRing
 from .locking import MetadataLockTable, RangeLockTable
 from .metadata import FileType, Inode, Stat, alloc_ino
-from .striping import StripeSpec, map_range
+from .striping import StripeSpec, map_range, server_spans
 
-__all__ = ["StorageNode", "ThemisFS"]
+__all__ = ["StorageNode", "ThemisFS",
+           "set_path_cache_enabled", "path_cache_enabled"]
+
+#: Process-wide switch for the path-resolution cache (seed-equivalence
+#: suite and benchmarking; cached and uncached lookups are identical).
+_PATH_CACHE_ENABLED = True
+
+#: Cap on cached path resolutions per file system.
+_PATH_CACHE_MAX = 8192
+
+
+def set_path_cache_enabled(enabled: bool) -> None:
+    """Enable/disable the per-FS path→inode resolution cache."""
+    global _PATH_CACHE_ENABLED
+    _PATH_CACHE_ENABLED = bool(enabled)
+
+
+def path_cache_enabled() -> bool:
+    """Whether path resolution uses the cache."""
+    return _PATH_CACHE_ENABLED
 
 
 class StorageNode:
@@ -109,6 +128,11 @@ class ThemisFS:
                               storage_backend=storage_backend)
             for name in names}
         self.clock = clock or (lambda: 0.0)
+        # Path-resolution cache: raw path string -> Inode, positive hits
+        # only (a miss re-runs normalize + ring lookup, so absent paths
+        # are always re-checked). Cleared wholesale on any removal or
+        # node crash/recovery — removals are rare next to lookups.
+        self._path_cache: Dict[str, Inode] = {}
         root = Inode(ino=1, ftype=FileType.DIRECTORY, path="/",
                      ctime=self.clock(), mtime=self.clock())
         self._meta_node("/").add_inode(root)
@@ -118,10 +142,19 @@ class ThemisFS:
         return self.nodes[self.ring.lookup(path)]
 
     def _find(self, path: str) -> Optional[Inode]:
+        if _PATH_CACHE_ENABLED:
+            cached = self._path_cache.get(path)
+            if cached is not None:
+                return cached
         norm = pathmod.normalize(path)
         node = self._meta_node(norm)
         ino = node.paths.get(norm)
-        return node.inodes.get(ino) if ino is not None else None
+        inode = node.inodes.get(ino) if ino is not None else None
+        if inode is not None and _PATH_CACHE_ENABLED:
+            if len(self._path_cache) >= _PATH_CACHE_MAX:
+                self._path_cache.clear()
+            self._path_cache[path] = inode
+        return inode
 
     def _require(self, path: str) -> Inode:
         inode = self._find(path)
@@ -151,7 +184,7 @@ class ThemisFS:
         inode = Inode(ino=alloc_ino(), ftype=FileType.DIRECTORY, path=norm,
                       ctime=now, mtime=now)
         self._meta_node(norm).add_inode(inode)
-        parent.entries[name] = inode.ino
+        parent.link_child(name, inode.ino)
         parent.mtime = now
         return inode
 
@@ -182,7 +215,7 @@ class ThemisFS:
                       ctime=now, mtime=now, uid=uid,
                       stripe=StripeSpec(self.stripe_size, servers))
         self._meta_node(norm).add_inode(inode)
-        parent.entries[name] = inode.ino
+        parent.link_child(name, inode.ino)
         parent.mtime = now
         return inode
 
@@ -301,9 +334,12 @@ class ThemisFS:
     def _remove_meta(self, inode: Inode) -> None:
         parent_path, name = pathmod.split(inode.path)
         parent = self._require_dir(parent_path)
-        parent.entries.pop(name, None)
+        parent.unlink_child(name)
         parent.mtime = self.clock()
         self._meta_node(inode.path).remove_inode(inode)
+        # The cache is keyed by raw (possibly unnormalised) spellings, so
+        # evicting one inode means dropping everything.
+        self._path_cache.clear()
 
     # ----------------------------------------------------------- fault model
     def crash_node(self, name: str) -> None:
@@ -322,6 +358,7 @@ class ThemisFS:
         node.meta_locks.reset()
         if hasattr(node.backend, "crash"):
             node.backend.crash()
+        self._path_cache.clear()
 
     def recover_node(self, name: str) -> Dict[str, object]:
         """Bring server *name* back: rescan a log-backed store if present.
@@ -346,7 +383,7 @@ class ThemisFS:
             raise IsADirectory(path)
         if length == 0:
             return {inode.stripe.servers[0]}
-        return {p.server for p in map_range(inode.stripe, offset, length)}
+        return set(server_spans(inode.stripe, offset, length))
 
     def used_bytes(self) -> Dict[str, int]:
         """Per-server device usage."""

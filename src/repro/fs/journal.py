@@ -167,7 +167,7 @@ class JournaledFS(ThemisFS):
         node.paths[inode.path] = ino
         parent = self.lookup(parent_path)
         if parent is not None:
-            parent.entries[name] = ino
+            parent.link_child(name, ino)
 
     # ----------------------------------------------------------- fault model
     def crash(self) -> None:
@@ -179,6 +179,7 @@ class JournaledFS(ThemisFS):
             node.paths.clear()
             if hasattr(node.backend, "crash"):
                 node.backend.crash()
+        self._path_cache.clear()
 
     def recover(self) -> Dict[str, Any]:
         """Rebuild from the journal (checkpoint + replay) and rescan
@@ -225,7 +226,7 @@ class JournaledFS(ThemisFS):
         node = self.nodes[name]
         node.inodes.clear()
         node.paths.clear()
-        super().crash_node(name)
+        super().crash_node(name)  # also clears the path cache
 
     def recover_node(self, name: str) -> Dict[str, Any]:
         """Rebuild one server from the journal, then rescan its store.

@@ -56,18 +56,33 @@ class Inode:
             self.entries = {}
         if self.ftype is FileType.FILE and self.stripe is None:
             raise FSError(f"file inode {self.path!r} needs a stripe spec")
+        # Running entry-table size, maintained by link_child/unlink_child
+        # so stat() stays O(1) on big directories.
+        self._dir_bytes = sum(len(name) + 16 for name in (self.entries or {}))
 
     @property
     def is_dir(self) -> bool:
         return self.ftype is FileType.DIRECTORY
 
+    # ---------------------------------------------------- directory mutation
+    def link_child(self, name: str, ino: int) -> None:
+        """Add (or re-point) directory entry *name* -> *ino*."""
+        if name not in self.entries:
+            self._dir_bytes += len(name) + 16
+        self.entries[name] = ino
+
+    def unlink_child(self, name: str) -> None:
+        """Drop directory entry *name* if present."""
+        if self.entries.pop(name, None) is not None:
+            self._dir_bytes -= len(name) + 16
+
     @property
     def dir_size(self) -> int:
-        """Approximate on-device size of a directory's entry table."""
+        """Approximate on-device size of a directory's entry table
+        (name + fixed-size record per entry, like a compact dirent)."""
         if not self.is_dir:
             return self.size
-        # name + fixed-size record per entry, like a compact dirent.
-        return sum(len(name) + 16 for name in (self.entries or {}))
+        return self._dir_bytes
 
     def stat(self) -> "Stat":
         """An immutable stat snapshot of this inode."""

@@ -2,14 +2,17 @@
 
 Models one server's local persistent-memory device (§4.3: "an index
 specifies the NVMe region of the file's contents", writes go to "a range
-of allocated byte-addressable space in NVMe"). Allocation is first-fit
-over a sorted free list with coalescing on free. Extents store real
-bytes so the filesystem is verifiable end-to-end; unwritten bytes read
-back as zeros.
+of allocated byte-addressable space in NVMe"). Allocation is best-fit
+over a size-bucketed free index — the smallest free run that fits, the
+lowest-offset such run on ties — with O(1) neighbour coalescing on free
+via offset/end maps (the original first-fit list re-sorted and re-merged
+the whole free list on every ``free``). Extents store real bytes so the
+filesystem is verifiable end-to-end; unwritten bytes read back as zeros.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -47,9 +50,41 @@ class NVMeRegion:
         if capacity <= 0:
             raise FSError(f"capacity must be positive: {capacity}")
         self.capacity = int(capacity)
-        self._free: List[Tuple[int, int]] = [(0, self.capacity)]  # (offset, len)
+        # Free-space index: every free run appears in all three views.
+        self._free_by_offset: Dict[int, int] = {}  # offset -> length
+        self._free_by_end: Dict[int, int] = {}     # offset+length -> offset
+        self._buckets: Dict[int, List[int]] = {}   # length -> sorted offsets
+        self._sizes: List[int] = []                # sorted distinct lengths
+        self._insert_run(0, self.capacity)
         self._allocated: Dict[int, Extent] = {}  # offset -> extent
         self._data: Dict[int, bytearray] = {}  # extent offset -> content
+
+    # ------------------------------------------------------- free-space index
+    def _insert_run(self, offset: int, length: int) -> None:
+        self._free_by_offset[offset] = length
+        self._free_by_end[offset + length] = offset
+        bucket = self._buckets.get(length)
+        if bucket is None:
+            self._buckets[length] = [offset]
+            insort(self._sizes, length)
+        else:
+            insort(bucket, offset)
+
+    def _remove_run(self, offset: int, length: int) -> None:
+        del self._free_by_offset[offset]
+        del self._free_by_end[offset + length]
+        bucket = self._buckets[length]
+        if len(bucket) == 1:
+            del self._buckets[length]
+            del self._sizes[bisect_left(self._sizes, length)]
+        else:
+            del bucket[bisect_left(bucket, offset)]
+
+    @property
+    def _free(self) -> List[Tuple[int, int]]:
+        """The free list as sorted ``(offset, length)`` pairs (debugging
+        and introspection; the live index is the bucketed maps)."""
+        return sorted(self._free_by_offset.items())
 
     # ------------------------------------------------------------ accounting
     @property
@@ -70,37 +105,42 @@ class NVMeRegion:
 
     # ------------------------------------------------------------ allocation
     def alloc(self, nbytes: int) -> Extent:
-        """Allocate a contiguous extent of *nbytes* (first fit)."""
+        """Allocate a contiguous extent of *nbytes* (best fit: the
+        smallest adequate free run, lowest offset on ties)."""
         if nbytes <= 0:
             raise InvalidArgument(f"allocation must be positive: {nbytes}")
-        for i, (off, length) in enumerate(self._free):
-            if length >= nbytes:
-                extent = Extent(off, nbytes)
-                if length == nbytes:
-                    del self._free[i]
-                else:
-                    self._free[i] = (off + nbytes, length - nbytes)
-                self._allocated[extent.offset] = extent
-                self._data[extent.offset] = bytearray(nbytes)
-                return extent
-        raise NoSpace(
-            f"cannot allocate {nbytes} bytes ({self.free_bytes} free, fragmented)")
+        i = bisect_left(self._sizes, nbytes)
+        if i == len(self._sizes):
+            raise NoSpace(
+                f"cannot allocate {nbytes} bytes "
+                f"({self.free_bytes} free, fragmented)")
+        length = self._sizes[i]
+        off = self._buckets[length][0]
+        self._remove_run(off, length)
+        if length > nbytes:
+            self._insert_run(off + nbytes, length - nbytes)
+        extent = Extent(off, nbytes)
+        self._allocated[extent.offset] = extent
+        self._data[extent.offset] = bytearray(nbytes)
+        return extent
 
     def free(self, extent: Extent) -> None:
-        """Release *extent* and coalesce adjacent free ranges."""
+        """Release *extent*, coalescing with free neighbours in O(1)
+        lookups (the end/offset maps name them directly)."""
         if self._allocated.get(extent.offset) != extent:
             raise FSError(f"freeing unallocated extent: {extent}")
         del self._allocated[extent.offset]
         del self._data[extent.offset]
-        self._free.append((extent.offset, extent.length))
-        self._free.sort()
-        merged: List[Tuple[int, int]] = []
-        for off, length in self._free:
-            if merged and merged[-1][0] + merged[-1][1] == off:
-                merged[-1] = (merged[-1][0], merged[-1][1] + length)
-            else:
-                merged.append((off, length))
-        self._free = merged
+        start, end = extent.offset, extent.end
+        prev_off = self._free_by_end.get(start)
+        if prev_off is not None:
+            self._remove_run(prev_off, start - prev_off)
+            start = prev_off
+        next_len = self._free_by_offset.get(end)
+        if next_len is not None:
+            self._remove_run(end, next_len)
+            end += next_len
+        self._insert_run(start, end - start)
 
     # ------------------------------------------------------------------- I/O
     def write(self, extent: Extent, offset: int, data: bytes) -> None:

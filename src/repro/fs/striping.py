@@ -5,16 +5,42 @@ range ``[k*S, (k+1)*S)`` (chunk ``k``) on server ``servers[k % len]``.
 :func:`map_range` splits an arbitrary byte range into per-chunk segments,
 which is all both the client (to route requests) and the server (to hit
 its local extents) need.
+
+Layouts are pure functions of ``(spec, offset, length)`` and workloads
+re-touch the same ranges constantly (a checkpoint loop re-writes one
+range per iteration), so both :func:`map_range` and the per-server
+aggregation :func:`server_spans` memoise their results on the spec.
+Cached results are the exact objects a fresh computation would produce;
+callers iterate them read-only.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Tuple
 
 from ..errors import InvalidArgument
 
-__all__ = ["StripeSpec", "ChunkSlice", "map_range"]
+__all__ = ["StripeSpec", "ChunkSlice", "map_range", "server_spans",
+           "set_stripe_memo_enabled", "stripe_memo_enabled"]
+
+#: Process-wide switch for the layout memo (seed-equivalence suite and
+#: benchmarking; memoised and recomputed layouts are identical).
+_MEMO_ENABLED = True
+
+#: Cap on memoised ranges per stripe spec (per memo kind).
+_MEMO_MAX = 4096
+
+
+def set_stripe_memo_enabled(enabled: bool) -> None:
+    """Enable/disable the per-spec stripe-layout memo."""
+    global _MEMO_ENABLED
+    _MEMO_ENABLED = bool(enabled)
+
+
+def stripe_memo_enabled() -> bool:
+    """Whether layout computations are memoised on the spec."""
+    return _MEMO_ENABLED
 
 
 @dataclass(frozen=True)
@@ -38,6 +64,16 @@ class StripeSpec:
         """The server owning chunk *chunk_index* (round-robin)."""
         return self.servers[chunk_index % len(self.servers)]
 
+    def _memo(self, kind: str) -> dict:
+        """This spec's layout memo for *kind* (created lazily, attached
+        outside the frozen dataclass fields so it never participates in
+        equality or hashing)."""
+        memo = self.__dict__.get(kind)
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, kind, memo)
+        return memo
+
 
 @dataclass(frozen=True)
 class ChunkSlice:
@@ -58,10 +94,16 @@ def map_range(spec: StripeSpec, offset: int, length: int) -> List[ChunkSlice]:
     """Split file byte range ``[offset, offset+length)`` into chunk slices.
 
     Slices are returned in file order; adjacent slices on the same server
-    are *not* merged (they are distinct chunks on the device).
+    are *not* merged (they are distinct chunks on the device). The result
+    is memoised on *spec*; treat it as read-only.
     """
     if offset < 0 or length < 0:
         raise InvalidArgument(f"invalid range: offset={offset} length={length}")
+    if _MEMO_ENABLED:
+        memo = spec._memo("_range_memo")
+        cached = memo.get((offset, length))
+        if cached is not None:
+            return cached
     slices: List[ChunkSlice] = []
     pos = offset
     end = offset + length
@@ -78,4 +120,35 @@ def map_range(spec: StripeSpec, offset: int, length: int) -> List[ChunkSlice]:
             length=take,
         ))
         pos += take
+    if _MEMO_ENABLED:
+        if len(memo) >= _MEMO_MAX:
+            memo.clear()
+        memo[(offset, length)] = slices
     return slices
+
+
+def server_spans(spec: StripeSpec, offset: int,
+                 length: int) -> Dict[str, Tuple[int, int]]:
+    """Per-server ``(first_offset, total_bytes)`` of a file byte range.
+
+    The aggregation clients use to split one logical I/O into one
+    request per data server. Memoised on *spec*; a fresh dict is
+    returned per call (callers may keep or discard it), built from a
+    cached aggregate.
+    """
+    if _MEMO_ENABLED:
+        memo = spec._memo("_span_memo")
+        cached = memo.get((offset, length))
+        if cached is not None:
+            return dict(cached)
+    spans: Dict[str, Tuple[int, int]] = {}
+    for piece in map_range(spec, offset, length):
+        first, total = spans.get(piece.server, (piece.file_offset, 0))
+        spans[piece.server] = (min(first, piece.file_offset),
+                               total + piece.length)
+    if _MEMO_ENABLED:
+        if len(memo) >= _MEMO_MAX:
+            memo.clear()
+        memo[(offset, length)] = spans
+        return dict(spans)
+    return spans

@@ -140,13 +140,24 @@ class ThroughputSampler:
         *end* defaults to the last completion time. In on-the-fly
         binning mode each stored bin contributes at its centre time, so
         the answer is exact when *interval* is a multiple of
-        ``bin_interval`` and approximate below that resolution.
+        ``bin_interval`` and approximate below that resolution. A
+        simulation rarely ends on a ``bin_interval`` boundary, so the
+        final stored bin is usually partial; the default *end* is pushed
+        past that bin's centre to flush it into the series — without
+        this, any *interval* finer than ``bin_interval`` would silently
+        drop the tail bytes recorded after the last full bin.
         """
         if self.bin_interval is not None:
             times, sizes = self._bin_points(job_id)
             if end is None:
-                end = (self._last_time + interval if times.size
-                       else start + interval)
+                if times.size:
+                    # times.max() is the last (possibly partial) bin's
+                    # centre; covering centre + bin_interval/2 closes
+                    # out that bin regardless of how fine *interval* is.
+                    end = max(self._last_time + interval,
+                              float(times.max()) + 0.5 * self.bin_interval)
+                else:
+                    end = start + interval
         else:
             times = np.asarray(self._times)
             sizes = np.asarray(self._bytes, dtype=float)

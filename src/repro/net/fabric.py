@@ -130,6 +130,16 @@ class Fabric:
         """True if *name* is currently marked down."""
         return name in self._down
 
+    # ------------------------------------------------------------ accounting
+    def reset_counters(self) -> None:
+        """Zero the traffic counters (per-phase accounting: benchmarks
+        and tests isolate one window's messages without rebuilding the
+        cluster). Topology and fault state are untouched."""
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.dropped_messages = 0
+        self.delayed_messages = 0
+
     # ------------------------------------------------------------- transport
     def send(self, message: Message) -> Event:
         """Transmit *message*; the event fires when it is enqueued remotely.

@@ -58,9 +58,14 @@ class RpcServer:
         self.on_request = on_request
         worker.on(REQ_TAG, self._handle)
         self.calls_received = 0
+        #: inbound calls per op name (protocol accounting: e.g. how many
+        #: λ-sync pulls vs pushes a server answered).
+        self.calls_by_op: Dict[str, int] = {}
 
     def _handle(self, msg) -> None:
         self.calls_received += 1
+        op = msg.payload["op"]
+        self.calls_by_op[op] = self.calls_by_op.get(op, 0) + 1
         self.on_request(RpcRequest(self, msg.payload))
 
 

@@ -1,0 +1,90 @@
+"""GIFT warm start: the memoized coupon-redemption LP must change the
+number of solver invocations and nothing else — identical budgets,
+coupons, and dispatch decisions with the memo on or off."""
+
+import pytest
+
+from repro.core import JobInfo
+from repro.core.baselines import GiftScheduler
+
+
+class Req:
+    __slots__ = ("job_id", "cost")
+
+    def __init__(self, job_id, cost=1.0):
+        self.job_id = job_id
+        self.cost = cost
+
+
+def _job(job_id, user=None):
+    return JobInfo(job_id=job_id, user=user or f"u{job_id}")
+
+
+def _drive(sched, cycles=25):
+    """Steady donate/redeem cycle; returns the full dispatch trace."""
+    sched.on_jobs_changed([_job(1), _job(2)], 0.0)
+    trace = []
+    now = 0.0
+    for _ in range(cycles):
+        # Donor phase: job 1 under-demands, job 2 over-demands.
+        sched.enqueue(Req(1, 5.0), now)
+        for _ in range(95):
+            sched.enqueue(Req(2, 1.0), now)
+        while True:
+            r = sched.dequeue(now)
+            if r is None:
+                break
+            trace.append((now, r.job_id, r.cost))
+        now += 1.0
+        # Redeem phase: job 1 over-demands holding coupons (LP path).
+        for _ in range(120):
+            sched.enqueue(Req(1, 1.0), now)
+        while True:
+            r = sched.dequeue(now)
+            if r is None:
+                break
+            trace.append((now, r.job_id, r.cost))
+        now += 1.0
+    return trace
+
+
+def test_warm_start_trace_identical_to_cold():
+    warm = GiftScheduler(capacity=100.0, mu=1.0, warm_start=True)
+    cold = GiftScheduler(capacity=100.0, mu=1.0, warm_start=False)
+    assert _drive(warm) == _drive(cold)
+    assert warm.coupons == cold.coupons
+    assert warm.epochs == cold.epochs
+
+
+def test_warm_start_skips_repeat_solves():
+    warm = GiftScheduler(capacity=100.0, mu=1.0, warm_start=True)
+    cold = GiftScheduler(capacity=100.0, mu=1.0, warm_start=False)
+    _drive(warm)
+    _drive(cold)
+    assert warm.lp_calls >= 1          # the memo never removes the first solve
+    assert warm.lp_cache_hits > 0
+    assert cold.lp_cache_hits == 0
+    assert warm.lp_calls < cold.lp_calls
+    assert warm.lp_calls + warm.lp_cache_hits == cold.lp_calls
+
+
+def test_memo_is_bounded():
+    s = GiftScheduler(capacity=100.0, mu=1.0, warm_start=True)
+    s.on_jobs_changed([_job(1), _job(2)], 0.0)
+    now = 0.0
+    for i in range(2 * GiftScheduler.LP_MEMO_MAX):
+        # Vary the arrival count so (almost) every epoch's LP is novel.
+        s.enqueue(Req(1, 5.0), now)
+        for _ in range(60 + i):
+            s.enqueue(Req(2, 1.0), now)
+        while s.dequeue(now) is not None:
+            pass
+        now += 1.0
+    assert len(s._lp_memo) <= GiftScheduler.LP_MEMO_MAX
+
+
+def test_default_is_warm():
+    assert GiftScheduler(capacity=10.0).warm_start is True
+    assert GiftScheduler(capacity=10.0, warm_start=False).warm_start is False
+    with pytest.raises(Exception):
+        GiftScheduler(capacity=0.0)

@@ -1,0 +1,90 @@
+"""Property-style checks: the incremental CompositeShareCache is
+bitwise-equal to a from-scratch Eq. 1 evaluation under randomized job
+churn (adds, removals, resizes, priority changes), for flat and
+composite policies alike. Exact ``==`` on the float dicts — the cache
+reuses the same matrix builders in the same association order, so not
+even an ULP of drift is tolerated."""
+
+import random
+
+import pytest
+
+from repro.core import JobInfo, Policy
+from repro.core.matrix import CompositeShareCache, chain_shares
+
+
+def _mutate(rng: random.Random, jobs: dict, next_id: int) -> int:
+    r = rng.random()
+    if r < 0.40 or not jobs:
+        jid = next_id
+        next_id += 1
+        jobs[jid] = JobInfo(job_id=jid, user=f"u{rng.randrange(4)}",
+                            group=f"g{rng.randrange(3)}",
+                            size=rng.randrange(1, 9),
+                            priority=float(rng.choice([0.5, 1.0, 2.0])))
+    elif r < 0.60:
+        jobs.pop(rng.choice(sorted(jobs)))
+    else:
+        jid = rng.choice(sorted(jobs))
+        old = jobs[jid]
+        jobs[jid] = JobInfo(job_id=jid, user=old.user, group=old.group,
+                            size=rng.randrange(1, 9), priority=old.priority)
+    return next_id
+
+
+@pytest.mark.parametrize("spec", ["job-fair", "size-fair", "priority-fair",
+                                  "user-then-size-fair",
+                                  "group-user-size-fair"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_cache_bitwise_equal_under_random_churn(spec, seed):
+    policy = Policy.parse(spec)
+    cache = CompositeShareCache(policy.levels)
+    rng = random.Random(seed)
+    jobs = {}
+    next_id = 0
+    for _ in range(300):
+        next_id = _mutate(rng, jobs, next_id)
+        population = list(jobs.values())
+        assert cache.shares(population) == chain_shares(policy.levels,
+                                                        population)
+    # The churn must have actually exercised the incremental path.
+    assert cache.levels_rebuilt > 0
+    if len(policy.levels) > 1:
+        assert cache.levels_reused > 0
+
+
+def test_exact_input_memo_hits_on_unchanged_population():
+    policy = Policy.parse("group-user-size-fair")
+    cache = CompositeShareCache(policy.levels)
+    population = [JobInfo(job_id=i, user=f"u{i % 2}", group="g0",
+                          size=i + 1) for i in range(6)]
+    first = cache.shares(population)
+    evaluations = cache.evaluations
+    again = cache.shares(list(reversed(population)))  # order-insensitive
+    assert again == first
+    assert cache.hits == 1
+    assert cache.evaluations == evaluations
+    # The memo hands out copies, not aliases of internal state.
+    again[0] = 999.0
+    assert cache.shares(population) == first
+
+
+def test_invalidate_forces_rebuild_with_identical_result():
+    policy = Policy.parse("user-then-size-fair")
+    cache = CompositeShareCache(policy.levels)
+    population = [JobInfo(job_id=i, user=f"u{i % 3}", size=i + 1)
+                  for i in range(8)]
+    before = cache.shares(population)
+    version = cache.version
+    cache.invalidate()
+    assert cache.version == version + 1
+    rebuilt_before = cache.levels_rebuilt
+    assert cache.shares(population) == before
+    assert cache.levels_rebuilt > rebuilt_before
+
+
+def test_invalidate_rejects_bad_level_index():
+    from repro.errors import PolicyError
+    cache = CompositeShareCache(Policy.parse("job-fair").levels)
+    with pytest.raises(PolicyError):
+        cache.invalidate(5)

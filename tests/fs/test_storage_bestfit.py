@@ -1,0 +1,98 @@
+"""Best-fit extent allocation over the size-bucketed free index:
+placement policy, tie-breaking, O(1) neighbour coalescing, and the
+consistency of the bucketed views with the legacy ``_free`` list."""
+
+import random
+
+import pytest
+
+from repro.errors import NoSpace
+from repro.fs.storage import Extent, NVMeRegion
+
+
+def test_best_fit_prefers_smallest_adequate_hole():
+    r = NVMeRegion(1000)
+    a = r.alloc(100)          # [0, 100)
+    b = r.alloc(50)           # [100, 150)
+    r.alloc(300)              # [150, 450); tail hole [450, 1000)
+    r.free(a)                 # holes: 100 @ 0, 550 @ 450
+    got = r.alloc(60)
+    assert got.offset == 0    # 100-byte hole beats the 550-byte tail
+    r.free(b)                 # holes: 40 @ 60, 50 @ 100 -> coalesce 90 @ 60
+    assert r.alloc(90).offset == 60
+
+
+def test_ties_break_to_lowest_offset():
+    r = NVMeRegion(400)
+    holes = [r.alloc(50) for _ in range(8)]  # fully allocated
+    r.free(holes[5])
+    r.free(holes[1])          # two 50-byte holes @ 250 and @ 50
+    assert r.alloc(50).offset == 50
+
+
+def test_free_coalesces_both_neighbours():
+    r = NVMeRegion(300)
+    a, b, c = r.alloc(100), r.alloc(100), r.alloc(100)
+    r.free(a)
+    r.free(c)
+    assert len(r._free) == 2
+    r.free(b)                 # merges with both neighbours
+    assert r._free == [(0, 300)]
+
+
+def test_double_free_and_bogus_extent_rejected():
+    r = NVMeRegion(100)
+    e = r.alloc(10)
+    r.free(e)
+    with pytest.raises(Exception):
+        r.free(e)
+    with pytest.raises(Exception):
+        r.free(Extent(50, 10))
+
+
+def test_exhaustion_raises_nospace():
+    r = NVMeRegion(100)
+    r.alloc(60)
+    with pytest.raises(NoSpace):
+        r.alloc(50)           # 40 contiguous left
+
+
+def test_random_churn_keeps_index_consistent():
+    rng = random.Random(7)
+    r = NVMeRegion(1 << 16)
+    live = []
+    for _ in range(600):
+        if rng.random() < 0.6 or not live:
+            try:
+                live.append(r.alloc(rng.randrange(1, 2048)))
+            except NoSpace:
+                r.free(live.pop(rng.randrange(len(live))))
+        else:
+            r.free(live.pop(rng.randrange(len(live))))
+        # The three free-index views must agree at every step.
+        free = r._free
+        assert sorted(r._free_by_offset.items()) == free
+        assert {off + length: off for off, length in free} == r._free_by_end
+        by_bucket = sorted((off, length) for length, offs in r._buckets.items()
+                           for off in offs)
+        assert by_bucket == free
+        assert sorted(r._buckets) == r._sizes
+        # No adjacent uncoalesced runs, no overlap with allocations.
+        for (o1, l1), (o2, _) in zip(free, free[1:]):
+            assert o1 + l1 < o2
+        assert r.used_bytes + sum(l for _, l in free) == r.capacity
+    for extent in live:
+        r.free(extent)
+    assert r._free == [(0, r.capacity)]
+
+
+def test_data_survives_churn():
+    r = NVMeRegion(4096)
+    a = r.alloc(100)
+    r.write(a, 0, b"hello")
+    b = r.alloc(200)
+    r.write(b, 190, b"tail")
+    r.free(a)
+    c = r.alloc(64)
+    assert r.read(b, 190, 4) == b"tail"
+    assert r.read(c, 0, 4) == b"\x00" * 4

@@ -179,3 +179,42 @@ class TestBinnedMode:
         times, rates = binned.series(interval=1.0)
         assert len(times) == 1 and rates[0] == 0.0
         assert binned.window_throughput(0.0, 5.0) == 0.0
+
+
+class TestBinnedPartialFinalBin:
+    """A run rarely ends on a ``bin_interval`` boundary; the default
+    series() window must flush the partial final bin instead of
+    truncating it when *interval* is finer than ``bin_interval``."""
+
+    def test_tail_bytes_survive_fine_interval_series(self):
+        s = ThroughputSampler(bin_interval=10.0)
+        s.record(2.0, 1, 100, "write")
+        s.record(12.0, 1, 200, "write")
+        s.record(25.0, 1, 300, "write")   # partial bin [20, 30), sim ends
+        for interval in (1.0, 2.5, 10.0):
+            times, rates = s.series(interval=interval)
+            assert sum(rates) * interval == pytest.approx(600.0), interval
+
+    def test_series_window_covers_last_bin_centre(self):
+        s = ThroughputSampler(bin_interval=10.0)
+        s.record(21.0, 1, 300, "write")
+        times, rates = s.series(interval=1.0)
+        # The [20, 30) bin's point mass sits at t=25; the default window
+        # must reach past it even though the last completion was t=21.
+        assert times[-1] + 1.0 > 25.0
+        assert sum(rates) * 1.0 == pytest.approx(300.0)
+
+    def test_explicit_end_still_honoured(self):
+        s = ThroughputSampler(bin_interval=10.0)
+        s.record(25.0, 1, 300, "write")
+        times, rates = s.series(interval=1.0, end=20.0)
+        # Caller-chosen window excludes the tail bin: nothing invented.
+        assert sum(rates) == 0.0
+
+    def test_per_job_series_flushes_tail(self):
+        s = ThroughputSampler(bin_interval=5.0)
+        s.record(1.0, 1, 50, "write")
+        s.record(8.0, 2, 70, "write")     # partial final bin [5, 10)
+        per_job = s.per_job_series(interval=1.0)
+        assert sum(per_job[1][1]) * 1.0 == pytest.approx(50.0)
+        assert sum(per_job[2][1]) * 1.0 == pytest.approx(70.0)
