@@ -48,6 +48,7 @@ from .core import (JobInfo, Policy, StatisticalTokenScheduler,
 from .core.baselines import GiftScheduler
 from .fs.filesystem import ThemisFS
 from .sim.engine import Engine
+from .sim.rng import RngRegistry
 from .units import GB, KiB, MB, MiB
 
 __all__ = ["run_all", "run_and_write", "git_rev", "main"]
@@ -75,7 +76,7 @@ def _time_kernel(fn: Callable[[], int], rounds: int) -> Dict[str, float]:
         t0 = time.perf_counter()
         ops = fn()
         dt = time.perf_counter() - t0
-        total_wall += dt
+        total_wall += dt  # lint: disable=PERF102 -- host wall-clock bookkeeping
         if dt < best:
             best = dt
     return {
@@ -90,7 +91,8 @@ def _time_kernel(fn: Callable[[], int], rounds: int) -> Dict[str, float]:
 def bench_scheduler_enqueue_dequeue() -> int:
     """The arbitration hot path: 16 jobs, 64-request enqueue/dequeue cycles."""
     policy = Policy.parse("job-fair")
-    scheduler = StatisticalTokenScheduler(policy, np.random.default_rng(0))
+    rng = RngRegistry(0).stream("bench.scheduler_enqueue_dequeue")
+    scheduler = StatisticalTokenScheduler(policy, rng)
     scheduler.on_jobs_changed(_jobs(16), 0.0)
     requests = [_Req(i % 16) for i in range(64)]
     cycles = 200
@@ -105,7 +107,7 @@ def bench_scheduler_enqueue_dequeue() -> int:
 def bench_token_draw() -> int:
     """Cumulative-boundary search over a 64-job assignment."""
     assignment = TokenAssignment({i: float(i + 1) for i in range(64)})
-    us = np.random.default_rng(0).random(5000).tolist()
+    us = RngRegistry(0).stream("bench.token_draw").random(5000).tolist()
     reps = 10
     draw = assignment.draw
     for _ in range(reps):
@@ -178,13 +180,13 @@ def bench_gift_epoch() -> int:
             sched.enqueue(_Req(2, 1.0), now)
         while sched.dequeue(now) is not None:
             pass
-        now += 1.0
+        now += 1.0  # lint: disable=PERF102 -- sim-clock step, not a float sum
         # Redeem phase: job 1 over-demands while holding coupons.
         for _ in range(120):
             sched.enqueue(_Req(1, 1.0), now)
         while sched.dequeue(now) is not None:
             pass
-        now += 1.0
+        now += 1.0  # lint: disable=PERF102 -- sim-clock step, not a float sum
     return epochs
 
 
@@ -312,6 +314,7 @@ def run_and_write(quick: bool = False, out: Optional[str] = None) -> int:
     payload = {
         "rev": rev,
         "quick": quick,
+        # lint: disable=DET003 -- host metadata stamp in bench output, not sim state
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "results": results,

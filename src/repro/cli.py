@@ -21,6 +21,11 @@ Commands
 ``bench``
     Run the hot-path benchmark kernels and write ``BENCH_<rev>.json``
     (see :mod:`repro.bench`; compare with ``scripts/bench_compare.py``).
+``lint``
+    Static determinism & sim-safety analysis over the tree (see
+    :mod:`repro.lint` and DESIGN.md §9); exits non-zero on new
+    violations. ``python -m repro lint --list-rules`` prints the
+    catalogue.
 """
 
 from __future__ import annotations
@@ -98,6 +103,10 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--crash-at", type=float, default=2.0)
     faults.add_argument("--restart-at", type=float, default=3.5)
     faults.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser(
+        "lint", add_help=False,
+        help="static determinism & sim-safety analysis (repro.lint)")
 
     bench = sub.add_parser(
         "bench", help="run benchmark kernels, write BENCH_<rev>.json")
@@ -184,6 +193,13 @@ def _cmd_faults(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Delegated before parsing so the analyzer owns its own argparse
+        # surface (paths, --baseline, --select, ...).
+        from .lint import main as lint_main
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "figures":

@@ -155,7 +155,7 @@ class TbfScheduler(Scheduler):
             return {j: self.rate_of(j) for j in self._known}
         idle_rate = sum(self.rate_of(j) for j in self._known
                         if j not in backlogged)
-        busy_total = sum(self.rate_of(j) for j in backlogged)
+        busy_total = sum(self.rate_of(j) for j in sorted(backlogged))
         rates = {}
         for j in self._known:
             base = self.rate_of(j)

@@ -98,7 +98,7 @@ def placement_shares(presence: Dict[str, Set[int]],
 def total_variation(a: Dict[int, float], b: Dict[int, float]) -> float:
     """Total-variation distance between two share maps (0 = identical,
     1 = disjoint). Missing keys count as zero share."""
-    keys = set(a) | set(b)
+    keys = sorted(set(a) | set(b))
     return 0.5 * sum(abs(a.get(k, 0.0) - b.get(k, 0.0)) for k in keys)
 
 

@@ -28,6 +28,9 @@ __all__ = ["QueueSet"]
 class QueueSet:
     """A set of FIFO queues keyed by job id."""
 
+    __slots__ = ("_queues", "_sorted_jobs", "_total", "_total_cost",
+                 "_job_cost", "_membership_version")
+
     def __init__(self):
         self._queues: Dict[int, Deque[Any]] = {}
         self._sorted_jobs: List[int] = []  # job ids with a nonempty queue

@@ -33,7 +33,15 @@ __all__ = ["Scheduler", "StatisticalTokenScheduler"]
 
 
 class Scheduler(ABC):
-    """Interface every queueing discipline implements."""
+    """Interface every queueing discipline implements.
+
+    The base declares empty ``__slots__`` so slot-conscious subclasses
+    (the statistical token scheduler sits on the bench hot path) do not
+    inherit a ``__dict__``; subclasses that declare no slots of their
+    own regain one automatically.
+    """
+
+    __slots__ = ()
 
     name: str = "abstract"
 
@@ -105,6 +113,12 @@ class StatisticalTokenScheduler(Scheduler):
     """
 
     name = "themis"
+
+    __slots__ = ("policy", "rng", "opportunity_fair", "cache_draws",
+                 "queues", "assignment", "draws", "wasted_draws",
+                 "cache_hits", "cache_misses", "reinstalls_skipped",
+                 "_assignment_version", "_restricted_cache", "_fast_key",
+                 "_fast_restricted")
 
     #: Cap on distinct backlog signatures cached per assignment version.
     _CACHE_MAX = 256

@@ -50,7 +50,7 @@ def _pairwise_sum(values: List[float]) -> float:
     if n < 8:
         total = 0.0
         for v in values:
-            total += v
+            total += v  # lint: disable=PERF102 -- replicates numpy's exact order
         return total
     r0, r1, r2, r3, r4, r5, r6, r7 = values[:8]
     i = 8
@@ -67,13 +67,16 @@ def _pairwise_sum(values: List[float]) -> float:
         i += 8
     total = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
     while i < n:
-        total += values[i]
+        total += values[i]  # lint: disable=PERF102 -- replicates numpy's exact order
         i += 1
     return total
 
 
 class TokenAssignment:
     """An immutable partition of [0, 1] into per-job segments."""
+
+    __slots__ = ("job_ids", "_shares_arr", "_cum", "_cum_list",
+                 "_shares_list", "_small", "_index", "_source_items")
 
     def __init__(self, shares: Dict[int, float]):
         if not shares:
@@ -126,7 +129,7 @@ class TokenAssignment:
             cum_list = []
             acc = 0.0
             for s in shares_list:
-                acc += s
+                acc += s  # lint: disable=PERF102 -- cumsum boundaries, bit-identical to numpy
                 cum_list.append(acc)
             cum_list[-1] = 1.0  # guard against floating-point shortfall
             self._shares_arr = None  # materialised lazily by .shares

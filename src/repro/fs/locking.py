@@ -32,6 +32,8 @@ __all__ = ["RangeLockTable", "MetadataLockTable"]
 class _WaiterMixin:
     """FIFO wake-all waiter queues keyed by inode number."""
 
+    __slots__ = ("_waiters",)
+
     def __init__(self):
         self._waiters: Dict[int, List[object]] = {}
 
@@ -64,6 +66,8 @@ class _WaiterMixin:
 
 class RangeLockTable(_WaiterMixin):
     """Byte-range write locks per file (inode number)."""
+
+    __slots__ = ("_writes",)
 
     def __init__(self):
         super().__init__()
@@ -122,6 +126,8 @@ class RangeLockTable(_WaiterMixin):
 
 class MetadataLockTable(_WaiterMixin):
     """Per-inode mutex for metadata updates (§4.3)."""
+
+    __slots__ = ("_held",)
 
     def __init__(self):
         super().__init__()

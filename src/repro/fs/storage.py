@@ -46,6 +46,9 @@ class NVMeRegion:
         Device size in bytes.
     """
 
+    __slots__ = ("capacity", "_free_by_offset", "_free_by_end", "_buckets",
+                 "_sizes", "_allocated", "_data")
+
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise FSError(f"capacity must be positive: {capacity}")

@@ -1,0 +1,125 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file mapping finding fingerprints to an allowed
+occurrence count plus a human justification. A finding whose
+``(rule, path, line-hash)`` fingerprint has remaining budget in the
+baseline is reported as *baselined* and does not fail the run; a new
+finding (or an extra occurrence beyond the budget) does. Deleting an
+entry and re-running therefore reproduces the original failure —
+the enforcement is auditable, not advisory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .core import Finding, Module
+
+__all__ = ["Baseline", "BaselineError"]
+
+_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]  # (rule, path, line hash)
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file."""
+
+
+@dataclass
+class Baseline:
+    """Occurrence budgets keyed by finding fingerprint."""
+
+    entries: Dict[Fingerprint, int] = field(default_factory=dict)
+    reasons: Dict[Fingerprint, str] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    # ------------------------------------------------------------- file IO
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                payload = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise BaselineError(f"{path}: invalid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise BaselineError(
+                f"{path}: expected a version-{_VERSION} baseline object")
+        baseline = cls(path=path)
+        for raw in payload.get("entries", []):
+            try:
+                fp = (raw["rule"], raw["path"], raw["line_hash"])
+                count = int(raw.get("count", 1))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BaselineError(f"{path}: bad entry {raw!r}") from exc
+            baseline.entries[fp] = baseline.entries.get(fp, 0) + count
+            if raw.get("reason"):
+                baseline.reasons[fp] = str(raw["reason"])
+        return baseline
+
+    @classmethod
+    def load_or_empty(cls, path: Optional[str]) -> "Baseline":
+        if path and os.path.exists(path):
+            return cls.load(path)
+        return cls(path=path)
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Write the baseline as sorted JSON; returns the path written."""
+        path = path or self.path
+        if not path:
+            raise BaselineError("no baseline path to write to")
+        entries = []
+        for fp in sorted(self.entries):
+            rule, fpath, line_hash = fp
+            entry = {"rule": rule, "path": fpath, "line_hash": line_hash,
+                     "count": self.entries[fp]}
+            if fp in self.reasons:
+                entry["reason"] = self.reasons[fp]
+            entries.append(entry)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"version": _VERSION, "entries": entries}, fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    # ----------------------------------------------------------- matching
+    def split(self, findings: List[Finding],
+              modules: Dict[str, Module]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition *findings* into (new, baselined).
+
+        Each baseline entry's count is a budget: the first *count*
+        occurrences of a fingerprint are grandfathered, any further
+        occurrence is new.
+        """
+        budget = dict(self.entries)
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in findings:
+            module = modules.get(finding.path)
+            line = module.line_text(finding.line) if module else ""
+            fp = finding.fingerprint(line)
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding],
+                      modules: Dict[str, Module],
+                      path: Optional[str] = None) -> "Baseline":
+        """A baseline grandfathering exactly the given findings."""
+        baseline = cls(path=path)
+        for finding in findings:
+            module = modules.get(finding.path)
+            line = module.line_text(finding.line) if module else ""
+            fp = finding.fingerprint(line)
+            baseline.entries[fp] = baseline.entries.get(fp, 0) + 1
+            baseline.reasons.setdefault(
+                fp, "grandfathered by --write-baseline; fix or justify")
+        return baseline

@@ -1,0 +1,159 @@
+"""Core types of the determinism / sim-safety analyzer.
+
+The linter's contract mirrors the repo's: *same seed => bit-identical
+event trace*. Rules are small AST visitors registered in a global
+registry; the runner parses each file once into a :class:`Module` and
+hands it to every applicable rule. Findings carry a per-rule severity:
+
+``ERROR``
+    A determinism or correctness hazard. Fails the run.
+``WARNING``
+    A strong heuristic (e.g. the yield-race detector) that may need a
+    waiver when the code is actually safe. Fails the run.
+``ADVISORY``
+    Perf guidance (``__slots__``, ``math.fsum``). Reported, never fails
+    unless ``--strict``.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+__all__ = [
+    "Severity", "Finding", "Module", "Rule", "register", "all_rules",
+    "rule_by_id", "line_fingerprint",
+]
+
+
+class Severity(enum.Enum):
+    """Per-rule severity; see the module docstring for semantics."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    ADVISORY = "advisory"
+
+    @property
+    def fails(self) -> bool:
+        """Whether findings of this severity make the run exit non-zero."""
+        return self is not Severity.ADVISORY
+
+
+def line_fingerprint(line: str) -> str:
+    """Stable content hash of one source line, whitespace-insensitive.
+
+    Baseline entries match on (rule, path, line hash) rather than line
+    *numbers*, so unrelated edits above a grandfathered finding do not
+    invalidate the baseline.
+    """
+    stripped = "".join(line.split())
+    return hashlib.blake2b(stripped.encode("utf-8"),
+                           digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def fingerprint(self, source_line: str) -> Tuple[str, str, str]:
+        """Baseline identity: (rule, path, hash of the offending line)."""
+        return (self.rule, self.path, line_fingerprint(source_line))
+
+    def render(self) -> str:
+        """Human-readable one-line report (path:line:col: sev RULE: msg)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity.value} {self.rule}: {self.message}")
+
+
+@dataclass
+class Module:
+    """One parsed source file plus everything rules need to inspect it."""
+
+    path: str            # path as given on the command line (for output)
+    source: str
+    tree: ast.Module
+    scope: str           # "src" | "tests" | "other", from the path
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        """1-based source line (empty string past EOF)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding :class:`Finding` objects. ``scopes`` restricts where a rule
+    applies ("src" sim/production code vs "tests"); ``exempt_suffixes``
+    skips files whose path ends with one of the given suffixes (e.g. the
+    RNG registry itself is allowed to construct numpy generators).
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    title: str = ""
+    rationale: str = ""
+    scopes: Tuple[str, ...] = ("src",)
+    exempt_suffixes: Tuple[str, ...] = ()
+
+    def applies_to(self, module: Module) -> bool:
+        """Whether this rule runs on *module* (scope + exemptions)."""
+        if module.scope not in self.scopes:
+            return False
+        norm = module.path.replace("\\", "/")
+        return not any(norm.endswith(sfx) for sfx in self.exempt_suffixes)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Yield every violation of this rule found in *module*."""
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST,
+                message: str) -> Finding:
+        """A finding of this rule anchored at *node*."""
+        return Finding(rule=self.id, severity=self.severity,
+                       path=module.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    from . import rules  # noqa: F401  (import populates the registry)
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_by_id(rule_id: str) -> Optional[Type[Rule]]:
+    """The registered rule class for *rule_id*, or None."""
+    from . import rules  # noqa: F401
+    return _REGISTRY.get(rule_id)

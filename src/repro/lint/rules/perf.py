@@ -1,0 +1,139 @@
+"""PERF-class advisory rules: hot-path hygiene.
+
+Advisories never fail a run (unless ``--strict``); they exist so a
+reviewer sees the perf debt in the diff that introduces it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..core import Finding, Module, Rule, Severity, register
+from ._util import dotted_name, iter_functions, statements_in_order
+
+__all__ = ["MissingSlotsRule", "FloatAccumulationRule"]
+
+#: Modules whose classes are instantiated inside bench kernels; the
+#: event/request/extent churn there makes per-instance ``__dict__``
+#: allocation measurable (see DESIGN.md §5).
+HOT_MODULE_SUFFIXES = (
+    "repro/sim/engine.py", "repro/sim/process.py", "repro/sim/resources.py",
+    "repro/core/tokens.py", "repro/core/queues.py",
+    "repro/core/scheduler.py", "repro/fs/striping.py",
+    "repro/fs/storage.py", "repro/fs/locking.py", "repro/net/message.py",
+    "repro/bb/request.py",
+)
+
+
+@register
+class MissingSlotsRule(Rule):
+    """PERF101: hot-path class without ``__slots__``.
+
+    Only fires in the modules bench kernels allocate from. Decorated
+    classes (dataclasses etc.) and exception types are skipped — their
+    layout is the decorator's business.
+    """
+
+    id = "PERF101"
+    severity = Severity.ADVISORY
+    title = "missing __slots__ on hot-path class"
+    rationale = ("instances allocated on bench hot paths pay for a "
+                 "__dict__ each; __slots__ removes it")
+    scopes = ("src",)
+
+    def _sets_self_attrs(self, cls: ast.ClassDef) -> bool:
+        for item in cls.body:
+            if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+                for node in ast.walk(item):
+                    if isinstance(node, ast.Attribute) and \
+                            isinstance(node.ctx, ast.Store) and \
+                            isinstance(node.value, ast.Name) and \
+                            node.value.id == "self":
+                        return True
+        return False
+
+    def _has_slots(self, cls: ast.ClassDef) -> bool:
+        for item in cls.body:
+            targets: List[ast.expr] = []
+            if isinstance(item, ast.Assign):
+                targets = list(item.targets)
+            elif isinstance(item, ast.AnnAssign):
+                targets = [item.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and \
+                        target.id == "__slots__":
+                    return True
+        return False
+
+    def _exceptionish(self, cls: ast.ClassDef) -> bool:
+        if cls.name.endswith(("Error", "Exception", "Warning")):
+            return True
+        for base in cls.bases:
+            name = dotted_name(base)
+            if name and name.split(".")[-1].endswith(
+                    ("Error", "Exception", "Warning")):
+                return True
+        return False
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        norm = module.path.replace("\\", "/")
+        if not any(norm.endswith(sfx) for sfx in HOT_MODULE_SUFFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.decorator_list or self._exceptionish(node):
+                continue
+            if self._sets_self_attrs(node) and not self._has_slots(node):
+                yield self.finding(
+                    module, node,
+                    f"class '{node.name}' is allocated on a bench hot "
+                    "path but has no __slots__")
+
+
+@register
+class FloatAccumulationRule(Rule):
+    """PERF102: repeated ``+=`` float accumulation in a loop.
+
+    A ``total = 0.0`` accumulator grown with ``+=`` in a loop loses
+    precision order-dependently; where the codebase needs exact sums it
+    uses ``math.fsum`` (and the order-dependence is exactly what DET004
+    polices for sets). Advisory: plain running totals are often fine.
+    """
+
+    id = "PERF102"
+    severity = Severity.ADVISORY
+    title = "float += accumulation in loop"
+    rationale = "math.fsum is exact and order-independent for float sums"
+    scopes = ("src",)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for func in iter_functions(module.tree):
+            float_accs: Set[str] = set()
+            for stmt in statements_in_order(func):
+                if isinstance(stmt, ast.Assign) and \
+                        len(stmt.targets) == 1 and \
+                        isinstance(stmt.targets[0], ast.Name) and \
+                        isinstance(stmt.value, ast.Constant) and \
+                        isinstance(stmt.value.value, float) and \
+                        stmt.value.value == 0.0:
+                    float_accs.add(stmt.targets[0].id)
+            if not float_accs:
+                continue
+            reported: Set[int] = set()  # id() of AST node, not of a value
+            for loop in ast.walk(func):
+                if not isinstance(loop, (ast.For, ast.While)):
+                    continue
+                for node in ast.walk(loop):
+                    if isinstance(node, ast.AugAssign) and \
+                            isinstance(node.op, ast.Add) and \
+                            isinstance(node.target, ast.Name) and \
+                            node.target.id in float_accs and \
+                            id(node) not in reported:
+                        reported.add(id(node))
+                        yield self.finding(
+                            module, node,
+                            f"float accumulator '{node.target.id}' grown "
+                            "with += in a loop; consider math.fsum over "
+                            "the collected terms")

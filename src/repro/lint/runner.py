@@ -1,0 +1,233 @@
+"""File discovery, rule execution, reporting, and the CLI.
+
+``python -m repro lint [paths]`` walks the given files/directories,
+runs every registered rule, subtracts inline waivers and the committed
+baseline, and exits non-zero iff a *new* error- or warning-severity
+finding remains. ``--write-baseline`` grandfathers the current state;
+``--strict`` makes advisories fail too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline, BaselineError
+from .core import Finding, Module, Rule, Severity, all_rules
+from .waivers import collect_waivers, stale_waiver_findings
+
+__all__ = ["LintResult", "lint_paths", "lint_source", "main",
+           "DEFAULT_BASELINE"]
+
+DEFAULT_BASELINE = "LINT_BASELINE.json"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache",
+              ".ruff_cache"}
+
+
+def _discover(paths: Sequence[str]) -> List[str]:
+    """All .py files under *paths* (files kept as-is), sorted."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            found.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in _SKIP_DIRS
+                                 and not d.startswith("."))
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    found.append(os.path.join(dirpath, name))
+    return sorted(dict.fromkeys(os.path.normpath(p) for p in found))
+
+
+def path_scope(path: str) -> str:
+    """"tests" for test files, else "src" (rules see every non-test file)."""
+    norm = path.replace("\\", "/")
+    parts = norm.split("/")
+    if "tests" in parts or os.path.basename(norm).startswith("test_"):
+        return "tests"
+    return "src"
+
+
+@dataclass
+class LintResult:
+    """Everything one run produced, pre-partitioned."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    waived_count: int = 0
+    modules: Dict[str, Module] = field(default_factory=dict)
+
+    def failures(self, strict: bool = False) -> List[Finding]:
+        """New findings that fail the run (advisories only when *strict*)."""
+        return [f for f in self.new if f.severity.fails or strict]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.failures() else 0
+
+
+def _parse_module(path: str, source: str) -> Tuple[Optional[Module],
+                                                   Optional[Finding]]:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return None, Finding(
+            rule="LINT000", severity=Severity.ERROR, path=path,
+            line=exc.lineno or 1, col=exc.offset or 0,
+            message=f"syntax error: {exc.msg}")
+    return Module(path=path, source=source, tree=tree,
+                  scope=path_scope(path)), None
+
+
+def _run_rules(module: Module, rules: Sequence[Rule]) -> List[Finding]:
+    findings: List[Finding] = []
+    waivers, waiver_problems = collect_waivers(module)
+    findings.extend(waiver_problems)
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(module):
+            raw.extend(rule.check(module))
+    kept = [f for f in raw if not waivers.suppresses(f)]
+    module.waived = len(raw) - len(kept)  # type: ignore[attr-defined]
+    findings.extend(kept)
+    findings.extend(stale_waiver_findings(module, waivers))
+    return findings
+
+
+def lint_paths(paths: Sequence[str],
+               baseline: Optional[Baseline] = None,
+               select: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint every file under *paths* against the registered rules."""
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        rules = [r for r in rules if r.id in wanted]
+    result = LintResult()
+    findings: List[Finding] = []
+    for path in _discover(paths):
+        rel = os.path.relpath(path).replace("\\", "/")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            findings.append(Finding(
+                rule="LINT000", severity=Severity.ERROR, path=rel,
+                line=1, col=0, message=f"cannot read file: {exc}"))
+            continue
+        module, parse_error = _parse_module(rel, source)
+        if parse_error is not None:
+            findings.append(parse_error)
+            continue
+        assert module is not None
+        result.modules[rel] = module
+        findings.extend(_run_rules(module, rules))
+        result.waived_count += getattr(module, "waived", 0)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    baseline = baseline or Baseline()
+    result.new, result.baselined = baseline.split(findings, result.modules)
+    return result
+
+
+def lint_source(source: str, path: str = "src/repro/snippet.py",
+                select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint one in-memory snippet (the unit-test entry point).
+
+    *path* controls rule scoping ("src" vs "tests") and exemptions.
+    """
+    module, parse_error = _parse_module(path, source)
+    if parse_error is not None:
+        return [parse_error]
+    assert module is not None
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        rules = [r for r in rules if r.id in wanted]
+    findings = _run_rules(module, rules)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _print_catalogue() -> None:
+    for rule in all_rules():
+        scopes = ",".join(rule.scopes)
+        print(f"{rule.id}  [{rule.severity.value:8s}] ({scopes}) "
+              f"{rule.title}")
+        print(f"        {rule.rationale}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point for ``python -m repro lint``; returns exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & sim-safety analyzer "
+                    "(same seed => same trace, enforced statically).")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             "if it exists)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="grandfather all current findings and exit 0")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run")
+    parser.add_argument("--strict", action="store_true",
+                        help="advisories also fail the run")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_catalogue()
+        return 0
+
+    baseline_path = args.baseline or (
+        DEFAULT_BASELINE if os.path.exists(DEFAULT_BASELINE) else None)
+    if args.no_baseline:
+        baseline_path = None
+    try:
+        baseline = Baseline.load_or_empty(baseline_path)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    select = [s.strip() for s in args.select.split(",")] if args.select \
+        else None
+    paths = args.paths or ["src"]
+    result = lint_paths(paths, baseline=baseline, select=select)
+
+    if args.write_baseline:
+        out = args.baseline or DEFAULT_BASELINE
+        all_findings = result.new + result.baselined
+        Baseline.from_findings(all_findings, result.modules,
+                               path=out).save()
+        print(f"wrote {out} ({len(all_findings)} grandfathered findings)")
+        return 0
+
+    for finding in result.new:
+        print(finding.render())
+    for finding in result.baselined:
+        print(f"{finding.render()}  [baselined]")
+
+    errors = sum(1 for f in result.new if f.severity is Severity.ERROR)
+    warnings = sum(1 for f in result.new if f.severity is Severity.WARNING)
+    advisories = sum(1 for f in result.new
+                     if f.severity is Severity.ADVISORY)
+    print(f"{len(result.modules)} files: {errors} errors, "
+          f"{warnings} warnings, {advisories} advisories "
+          f"({len(result.baselined)} baselined, "
+          f"{result.waived_count} waived)")
+    failures = result.failures(strict=args.strict)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

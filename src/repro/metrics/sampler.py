@@ -224,10 +224,12 @@ class ThroughputSampler:
                 nbytes = get(b)
                 if nbytes:
                     overlap = min(t1, (b + 1) * w) - max(t0, b * w)
+                    # lint: disable=PERF102 -- hot query path; bins are few
                     total += nbytes * (overlap / w)
         else:
             for b, nbytes in bins.items():
                 overlap = min(t1, (b + 1) * w) - max(t0, b * w)
                 if overlap > 0:
+                    # lint: disable=PERF102 -- hot query path; bins are few
                     total += nbytes * (overlap / w)
         return total / (t1 - t0)

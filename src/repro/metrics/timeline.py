@@ -76,7 +76,7 @@ def convergence_interval(timeline: ShareTimeline,
     for idx in range(timeline.n_intervals):
         observed = timeline.shares_at(idx)
         tv = 0.5 * sum(abs(observed.get(k, 0.0) - fair_shares.get(k, 0.0))
-                       for k in set(observed) | set(fair_shares))
+                       for k in sorted(set(observed) | set(fair_shares)))
         total = sum(observed.values())
         if total > 0 and tv <= tolerance:
             good_run += 1

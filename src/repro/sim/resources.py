@@ -27,6 +27,8 @@ class Store:
     *capacity*, puts block while the store is full.
     """
 
+    __slots__ = ("engine", "capacity", "items", "_getters", "_putters")
+
     def __init__(self, engine: "Engine", capacity: float = float("inf")):
         if capacity <= 0:
             raise SimulationError("capacity must be positive")
@@ -89,6 +91,8 @@ class PriorityStore(Store):
     deterministic tie-breaking.
     """
 
+    __slots__ = ()
+
     def __init__(self, engine: "Engine", capacity: float = float("inf")):
         super().__init__(engine, capacity)
         self.items: List[Any] = []  # heap
@@ -126,6 +130,8 @@ class Resource:
         finally:
             resource.release(req)
     """
+
+    __slots__ = ("engine", "capacity", "_holders", "_waiters")
 
     def __init__(self, engine: "Engine", capacity: int = 1):
         if capacity < 1:
@@ -173,6 +179,8 @@ class BandwidthPipe:
     ``transfer(nbytes)`` returns an event succeeding at the completion time.
     A per-transfer fixed ``latency`` is added after serialisation.
     """
+
+    __slots__ = ("engine", "rate", "latency", "_free_at", "bytes_moved")
 
     def __init__(self, engine: "Engine", rate: float, latency: float = 0.0):
         if rate <= 0:

@@ -1,0 +1,120 @@
+"""Baseline round-trip, budgets, and enforcement semantics."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, BaselineError
+from repro.lint.runner import lint_paths
+
+DIRTY = (
+    "\"\"\"Fixture module with two known findings.\"\"\"\n"
+    "import time\n"
+    "\n"
+    "\n"
+    "def stamp():\n"
+    "    \"\"\"Wall-clock stamp (DET003).\"\"\"\n"
+    "    return time.time()\n"
+    "\n"
+    "\n"
+    "def collect(items, acc=[]):\n"
+    "    \"\"\"Mutable default (SIM003).\"\"\"\n"
+    "    acc.extend(items)\n"
+    "    return acc\n"
+)
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    """A temp package dir with one file carrying two findings."""
+    pkg = tmp_path / "src"
+    pkg.mkdir()
+    mod = pkg / "mod.py"
+    mod.write_text(DIRTY)
+    return pkg
+
+
+def test_findings_without_baseline_fail(dirty_tree):
+    result = lint_paths([str(dirty_tree)])
+    assert {f.rule for f in result.new} == {"DET003", "SIM003"}
+    assert result.exit_code == 1
+
+
+def test_write_then_load_round_trip(dirty_tree, tmp_path):
+    result = lint_paths([str(dirty_tree)])
+    path = str(tmp_path / "baseline.json")
+    Baseline.from_findings(result.new, result.modules, path=path).save()
+
+    reloaded = Baseline.load(path)
+    again = lint_paths([str(dirty_tree)], baseline=reloaded)
+    assert again.new == []
+    assert {f.rule for f in again.baselined} == {"DET003", "SIM003"}
+    assert again.exit_code == 0
+
+
+def test_deleting_entry_restores_finding(dirty_tree, tmp_path):
+    # Acceptance property: removing one baseline entry reproduces the
+    # original finding on the next run.
+    result = lint_paths([str(dirty_tree)])
+    path = str(tmp_path / "baseline.json")
+    Baseline.from_findings(result.new, result.modules, path=path).save()
+
+    payload = json.loads(open(path).read())
+    removed = [e for e in payload["entries"] if e["rule"] == "DET003"]
+    payload["entries"] = [e for e in payload["entries"]
+                          if e["rule"] != "DET003"]
+    assert removed
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+    pruned = lint_paths([str(dirty_tree)], baseline=Baseline.load(path))
+    assert {f.rule for f in pruned.new} == {"DET003"}
+    assert pruned.exit_code == 1
+
+
+def test_count_budget_limits_occurrences(dirty_tree, tmp_path):
+    # Two identical offending lines, budget of one: second is new.
+    mod = dirty_tree / "mod2.py"
+    mod.write_text("\"\"\"Fixture.\"\"\"\nimport time\n"
+                   "a = time.time()\n"
+                   "b = time.time()\n")
+    result = lint_paths([str(dirty_tree / "mod2.py")])
+    det = [f for f in result.new if f.rule == "DET003"]
+    assert len(det) == 2
+    # Both lines hash differently (a = / b =), so grandfather only one.
+    path = str(tmp_path / "baseline.json")
+    Baseline.from_findings(det[:1], result.modules, path=path).save()
+    again = lint_paths([str(dirty_tree / "mod2.py")],
+                       baseline=Baseline.load(path))
+    assert len([f for f in again.new if f.rule == "DET003"]) == 1
+    assert len([f for f in again.baselined if f.rule == "DET003"]) == 1
+
+
+def test_fingerprint_survives_line_drift(dirty_tree, tmp_path):
+    # Insert unrelated lines above the finding; the baseline still holds
+    # because entries match on line content, not line numbers.
+    result = lint_paths([str(dirty_tree)])
+    path = str(tmp_path / "baseline.json")
+    Baseline.from_findings(result.new, result.modules, path=path).save()
+
+    mod = dirty_tree / "mod.py"
+    mod.write_text("\"\"\"Doc moved.\"\"\"\n\n\n\n" + "\n".join(
+        DIRTY.splitlines()[1:]) + "\n")
+    drifted = lint_paths([str(dirty_tree)], baseline=Baseline.load(path))
+    assert drifted.new == []
+    assert {f.rule for f in drifted.baselined} == {"DET003", "SIM003"}
+
+
+def test_malformed_baseline_rejected(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"version\": 99}")
+    with pytest.raises(BaselineError):
+        Baseline.load(str(bad))
+    bad.write_text("not json")
+    with pytest.raises(BaselineError):
+        Baseline.load(str(bad))
+
+
+def test_load_or_empty_missing_file(tmp_path):
+    baseline = Baseline.load_or_empty(str(tmp_path / "absent.json"))
+    assert baseline.entries == {}

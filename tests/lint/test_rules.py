@@ -1,0 +1,328 @@
+"""Per-rule fixture tests: one positive and one negative snippet each."""
+
+import pytest
+
+from repro.lint import lint_source
+
+SRC = "src/repro/somewhere/mod.py"      # src scope
+TEST = "tests/somewhere/test_mod.py"    # tests scope
+
+
+def rule_ids(findings):
+    """The rule ids of *findings*, order-preserving."""
+    return [f.rule for f in findings]
+
+
+def hits(source, rule, path=SRC):
+    """Findings of *rule* for *source* linted as *path*."""
+    return [f for f in lint_source(source, path=path, select=[rule])
+            if f.rule == rule]
+
+
+# ------------------------------------------------------------------ DET001
+class TestRawRandom:
+    def test_import_random_flagged(self):
+        assert hits("import random\n", "DET001")
+
+    def test_from_random_flagged(self):
+        assert hits("from random import shuffle\n", "DET001")
+
+    def test_numpy_import_clean(self):
+        assert not hits("import numpy as np\n", "DET001")
+
+    def test_tests_scope_exempt(self):
+        assert not hits("import random\n", "DET001", path=TEST)
+
+
+# ------------------------------------------------------------------ DET002
+class TestAdHocNumpyRng:
+    def test_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert hits(src, "DET002")
+
+    def test_bare_default_rng_flagged(self):
+        src = ("from numpy.random import default_rng\n"
+               "rng = default_rng(7)\n")
+        assert hits(src, "DET002")
+
+    def test_legacy_seed_flagged(self):
+        src = "import numpy as np\nnp.random.seed(42)\n"
+        assert hits(src, "DET002")
+
+    def test_registry_stream_clean(self):
+        src = ("from repro.sim.rng import RngRegistry\n"
+               "rng = RngRegistry(0).stream('workload.jitter')\n")
+        assert not hits(src, "DET002")
+
+    def test_rng_registry_module_exempt(self):
+        src = ("import numpy as np\n"
+               "g = np.random.Generator(np.random.PCG64(1))\n")
+        assert hits(src, "DET002")
+        assert not hits(src, "DET002", path="src/repro/sim/rng.py")
+
+
+# ------------------------------------------------------------------ DET003
+class TestWallClock:
+    @pytest.mark.parametrize("call", [
+        "time.time()", "time.monotonic()", "time.gmtime()",
+        "datetime.datetime.now()", "datetime.date.today()",
+    ])
+    def test_wall_clock_flagged(self, call):
+        src = f"import time, datetime\nx = {call}\n"
+        assert hits(src, "DET003")
+
+    def test_perf_counter_allowed(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert not hits(src, "DET003")
+
+    def test_engine_now_clean(self):
+        assert not hits("t = engine.now\n", "DET003")
+
+
+# ------------------------------------------------------------------ DET004
+class TestUnorderedIteration:
+    def test_for_over_set_call_flagged(self):
+        src = "for k in set(items):\n    consume(k)\n"
+        assert hits(src, "DET004")
+
+    def test_comprehension_over_union_flagged(self):
+        src = "tv = sum(d[k] for k in set(a) | set(b))\n"
+        assert hits(src, "DET004")
+
+    def test_tracked_name_flagged(self):
+        src = ("keys = set(a) | set(b)\n"
+               "out = [d[k] for k in keys]\n")
+        assert hits(src, "DET004")
+
+    def test_sorted_wrapper_clean(self):
+        src = "tv = sum(d[k] for k in sorted(set(a) | set(b)))\n"
+        assert not hits(src, "DET004")
+
+    def test_sorted_assignment_clears_taint(self):
+        src = ("keys = sorted(set(a) | set(b))\n"
+               "out = [d[k] for k in keys]\n")
+        assert not hits(src, "DET004")
+
+    def test_list_over_set_flagged(self):
+        assert hits("order = list(set(jobs))\n", "DET004")
+
+    def test_dict_iteration_clean(self):
+        src = "for k in mapping:\n    consume(k)\n"
+        assert not hits(src, "DET004")
+
+    def test_membership_test_clean(self):
+        assert not hits("ok = x in set(items)\n", "DET004")
+
+    def test_applies_in_tests_scope(self):
+        src = "for k in set(items):\n    consume(k)\n"
+        assert hits(src, "DET004", path=TEST)
+
+
+# ------------------------------------------------------------------ DET005
+class TestIdOrdering:
+    def test_key_id_flagged(self):
+        assert hits("jobs.sort(key=id)\n", "DET005")
+
+    def test_lambda_id_key_flagged(self):
+        src = "ordered = sorted(jobs, key=lambda j: id(j))\n"
+        assert hits(src, "DET005")
+
+    def test_hash_id_flagged(self):
+        assert hits("h = hash(id(job))\n", "DET005")
+
+    def test_stable_key_clean(self):
+        src = "ordered = sorted(jobs, key=lambda j: j.job_id)\n"
+        assert not hits(src, "DET005")
+
+    def test_repr_id_allowed(self):
+        # id() for debugging output is fine; only ordering/hashing is not.
+        assert not hits("label = f'<obj at {id(self):#x}>'\n", "DET005")
+
+
+# ------------------------------------------------------------------ SIM001
+class TestBlockingCall:
+    def test_time_sleep_flagged(self):
+        src = "import time\ndef proc():\n    time.sleep(1)\n"
+        assert hits(src, "SIM001")
+
+    def test_bare_sleep_import_flagged(self):
+        src = "from time import sleep\nsleep(0.1)\n"
+        assert hits(src, "SIM001")
+
+    def test_engine_timeout_clean(self):
+        src = "def proc(engine):\n    yield engine.timeout(1.0)\n"
+        assert not hits(src, "SIM001")
+
+    def test_tests_scope_exempt(self):
+        src = "import time\ntime.sleep(0.01)\n"
+        assert not hits(src, "SIM001", path=TEST)
+
+
+# ------------------------------------------------------------------ SIM002
+class TestYieldRace:
+    RACE = (
+        "def worker(self, engine):\n"
+        "    count = self.stats.served\n"
+        "    yield engine.timeout(1.0)\n"
+        "    self.stats.served = count + 1\n"
+    )
+
+    def test_lost_update_flagged(self):
+        findings = hits(self.RACE, "SIM002")
+        assert findings and findings[0].severity.value == "warning"
+
+    def test_reread_after_yield_clean(self):
+        src = (
+            "def worker(self, engine):\n"
+            "    yield engine.timeout(1.0)\n"
+            "    count = self.stats.served\n"
+            "    self.stats.served = count + 1\n"
+        )
+        assert not hits(src, "SIM002")
+
+    def test_augassign_clean(self):
+        src = (
+            "def worker(self, engine):\n"
+            "    yield engine.timeout(1.0)\n"
+            "    self.stats.served += 1\n"
+        )
+        assert not hits(src, "SIM002")
+
+    def test_different_attribute_clean(self):
+        src = (
+            "def worker(self, engine):\n"
+            "    count = self.stats.served\n"
+            "    yield engine.timeout(1.0)\n"
+            "    self.stats.dropped = count\n"
+        )
+        assert not hits(src, "SIM002")
+
+    def test_non_generator_clean(self):
+        src = (
+            "def update(self):\n"
+            "    count = self.stats.served\n"
+            "    self.stats.served = count + 1\n"
+        )
+        assert not hits(src, "SIM002")
+
+
+# ------------------------------------------------------------------ SIM003
+class TestMutableDefault:
+    def test_list_literal_flagged(self):
+        assert hits("def f(x, acc=[]):\n    pass\n", "SIM003")
+
+    def test_dict_call_flagged(self):
+        assert hits("def f(x, table=dict()):\n    pass\n", "SIM003")
+
+    def test_kwonly_default_flagged(self):
+        assert hits("def f(*, acc={}):\n    pass\n", "SIM003")
+
+    def test_none_default_clean(self):
+        assert not hits("def f(x, acc=None):\n    pass\n", "SIM003")
+
+    def test_tuple_default_clean(self):
+        assert not hits("def f(x, acc=()):\n    pass\n", "SIM003")
+
+    def test_applies_in_tests_scope(self):
+        assert hits("def f(acc=[]):\n    pass\n", "SIM003", path=TEST)
+
+
+# ----------------------------------------------------------------- PERF101
+class TestMissingSlots:
+    HOT = "src/repro/core/tokens.py"
+    SLOTLESS = (
+        "class Thing:\n"
+        "    def __init__(self):\n"
+        "        self.a = 1\n"
+    )
+
+    def test_hot_module_flagged(self):
+        findings = hits(self.SLOTLESS, "PERF101", path=self.HOT)
+        assert findings and findings[0].severity.value == "advisory"
+
+    def test_cold_module_clean(self):
+        assert not hits(self.SLOTLESS, "PERF101",
+                        path="src/repro/harness/report.py")
+
+    def test_slotted_clean(self):
+        src = (
+            "class Thing:\n"
+            "    __slots__ = ('a',)\n"
+            "    def __init__(self):\n"
+            "        self.a = 1\n"
+        )
+        assert not hits(src, "PERF101", path=self.HOT)
+
+    def test_exception_class_exempt(self):
+        src = (
+            "class ThingError(Exception):\n"
+            "    def __init__(self, msg):\n"
+            "        self.msg = msg\n"
+        )
+        assert not hits(src, "PERF101", path=self.HOT)
+
+    def test_decorated_class_exempt(self):
+        src = (
+            "import dataclasses\n"
+            "@dataclasses.dataclass\n"
+            "class Thing:\n"
+            "    a: int = 0\n"
+        )
+        assert not hits(src, "PERF101", path=self.HOT)
+
+
+# ----------------------------------------------------------------- PERF102
+class TestFloatAccumulation:
+    def test_accumulator_flagged(self):
+        src = (
+            "def total(xs):\n"
+            "    acc = 0.0\n"
+            "    for x in xs:\n"
+            "        acc += x\n"
+            "    return acc\n"
+        )
+        findings = hits(src, "PERF102")
+        assert findings and findings[0].severity.value == "advisory"
+
+    def test_int_accumulator_clean(self):
+        src = (
+            "def total(xs):\n"
+            "    acc = 0\n"
+            "    for x in xs:\n"
+            "        acc += x\n"
+            "    return acc\n"
+        )
+        assert not hits(src, "PERF102")
+
+    def test_fsum_clean(self):
+        src = (
+            "import math\n"
+            "def total(xs):\n"
+            "    return math.fsum(xs)\n"
+        )
+        assert not hits(src, "PERF102")
+
+
+# ---------------------------------------------------------------- framework
+class TestFramework:
+    def test_syntax_error_reported(self):
+        findings = lint_source("def broken(:\n")
+        assert rule_ids(findings) == ["LINT000"]
+
+    def test_select_filters_rules(self):
+        src = "import random\nimport time\nx = time.time()\n"
+        only = lint_source(src, select=["DET001"])
+        assert {f.rule for f in only} == {"DET001"}
+
+    def test_clean_snippet_has_no_findings(self):
+        src = (
+            "def add(a, b):\n"
+            "    '''Sum of a and b.'''\n"
+            "    return a + b\n"
+        )
+        assert lint_source(src) == []
+
+    def test_advisories_do_not_fail(self):
+        from repro.lint import Severity
+        assert not Severity.ADVISORY.fails
+        assert Severity.ERROR.fails and Severity.WARNING.fails
