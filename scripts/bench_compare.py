@@ -4,13 +4,19 @@
 Prints a per-kernel GitHub-flavoured markdown table and exits non-zero
 when any kernel's ``ops_per_s`` regressed by more than ``--threshold``
 (default 15%) relative to the baseline, or when a baseline kernel is
-missing from the current run. Improvements are reported; kernels new in
-the current run are listed but never gated (they have no baseline).
+missing from the current run. Improvements are reported. Kernels that
+exist only in the current run have no baseline to gate against, so by
+default they fail the comparison too — an unannounced name usually
+means an accidental rename, which would otherwise silently drop the
+kernel's regression gate. Pass ``--allow-new`` when the kernel set
+legitimately grew (a PR adding kernels compared against an older
+committed baseline); new kernels are then listed as ``new`` in the
+table and do not gate.
 
 Usage::
 
     python scripts/bench_compare.py CURRENT.json [BASELINE.json] \
-        [--threshold 0.15] [--md PATH]
+        [--threshold 0.15] [--allow-new] [--md PATH]
 
 With no explicit baseline, the newest committed ``BENCH_*.json`` (by
 its ``generated_at`` stamp) in the repository root is used. ``--md``
@@ -42,8 +48,8 @@ def newest_committed_baseline(exclude: str) -> str:
     return max(candidates, key=lambda p: load(p).get("generated_at", ""))
 
 
-def compare(current: dict, baseline: dict,
-            threshold: float) -> Tuple[List[str], List[Tuple[str, str]]]:
+def compare(current: dict, baseline: dict, threshold: float,
+            allow_new: bool = False) -> Tuple[List[str], List[Tuple[str, str]]]:
     """Build the markdown table rows and the list of failures."""
     rows = ["| kernel | baseline ops/s | current ops/s | ratio | status |",
             "|---|---:|---:|---:|---|"]
@@ -76,7 +82,13 @@ def compare(current: dict, baseline: dict,
 
     for name in sorted(set(cur_results) - set(base_results)):
         cur_rate = cur_results[name].get("ops_per_s", 0)
-        rows.append(f"| {name} | — | {cur_rate:,.0f} | — | new |")
+        if allow_new:
+            rows.append(f"| {name} | — | {cur_rate:,.0f} | — | new |")
+        else:
+            rows.append(f"| {name} | — | {cur_rate:,.0f} | — | **NEW** |")
+            failures.append(
+                (name, "kernel absent from baseline (accidental rename? "
+                       "pass --allow-new if intentionally added)"))
     return rows, failures
 
 
@@ -87,6 +99,10 @@ def main(argv=None) -> int:
                         help="baseline BENCH json (default: newest committed)")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="max tolerated fractional regression (0.15 = 15%%)")
+    parser.add_argument("--allow-new", action="store_true",
+                        help="kernels absent from the baseline are listed "
+                             "as informational 'new' rows instead of "
+                             "failing the comparison")
     parser.add_argument("--md", default=None,
                         help="also write the markdown table to this path")
     args = parser.parse_args(argv)
@@ -95,7 +111,8 @@ def main(argv=None) -> int:
     baseline_path = args.baseline or newest_committed_baseline(args.current)
     baseline = load(baseline_path)
 
-    rows, failures = compare(current, baseline, args.threshold)
+    rows, failures = compare(current, baseline, args.threshold,
+                             allow_new=args.allow_new)
     table = "\n".join(rows)
 
     print(f"current  rev={current.get('rev')} ({args.current})")
@@ -111,8 +128,8 @@ def main(argv=None) -> int:
             fh.write(table + "\n")
 
     if failures:
-        print(f"\nFAIL: {len(failures)} kernel(s) regressed "
-              f"beyond {args.threshold:.0%} or went missing:")
+        print(f"\nFAIL: {len(failures)} kernel(s) regressed beyond "
+              f"{args.threshold:.0%} or changed the kernel set:")
         for name, detail in failures:
             print(f"  - {name}: {detail}")
         return 1

@@ -48,7 +48,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from .server import Server
 
 __all__ = ["Controller", "set_sync_hash_skip_enabled",
-           "sync_hash_skip_enabled"]
+           "sync_hash_skip_enabled", "set_sync_delta_enabled",
+           "sync_delta_enabled"]
 
 #: Estimated wire bytes per job-status-table entry (id, uid, gid, size,
 #: priority, status, heartbeat stamp).
@@ -73,6 +74,30 @@ def set_sync_hash_skip_enabled(enabled: bool) -> None:
 def sync_hash_skip_enabled() -> bool:
     """Whether push application skips on an unchanged content hash."""
     return _HASH_SKIP_ENABLED
+
+
+#: Process-wide switch for delta-encoded scatter pushes (batched
+#: protocol only). The coordinator already holds every responder's
+#: full snapshot from the gather phase, so it can omit the entries a
+#: responder provably already has (equal-or-newer heartbeat — the
+#: merge's update condition) from that responder's push. Omitted
+#: entries would merge as byte-for-byte no-ops, so delta and full
+#: pushes leave the receiver in the identical state; the push's
+#: nominal ``size`` (and hence all simulated timing) still reflects
+#: the full table, and the saving is reported separately through
+#: :attr:`~repro.net.message.Message.payload_bytes`.
+_DELTA_SYNC_ENABLED = True
+
+
+def set_sync_delta_enabled(enabled: bool) -> None:
+    """Enable/disable λ-sync scatter-push delta encoding."""
+    global _DELTA_SYNC_ENABLED
+    _DELTA_SYNC_ENABLED = bool(enabled)
+
+
+def sync_delta_enabled() -> bool:
+    """Whether scatter pushes carry only entries the receiver lacks."""
+    return _DELTA_SYNC_ENABLED
 
 
 def _content_hash(entries: List[dict], presence: Dict[str, List[int]]) -> str:
@@ -112,6 +137,22 @@ class Controller:
         #: pushes applied as a no-op via the content-hash short circuit.
         self.push_hash_skips = 0
         self._last_push_hash: Optional[str] = None
+        # Delta-encoding state. The basis token identifies one
+        # uninterrupted lifetime of this controller's sync state: it is
+        # echoed through pull replies into the matching push, and a
+        # mismatch at apply time proves the state the delta was computed
+        # against is gone (crash/restart in between) — the push is then
+        # discarded and a full-table resync requested instead.
+        self._sync_basis = 0
+        self._needs_full_sync = False
+        #: scatter pushes sent delta-encoded vs. as the full table.
+        self.delta_pushes = 0
+        self.full_pushes = 0
+        #: delta pushes discarded because the receiver restarted between
+        #: its pull reply and the push's arrival.
+        self.basis_mismatches = 0
+        #: full-table pushes applied while a resync was pending.
+        self.full_resyncs = 0
         self._sync_process = None
 
     def reset(self) -> None:
@@ -123,6 +164,10 @@ class Controller:
         self._table_version_seen = -1
         self._presence_seen = {}
         self._last_push_hash = None
+        # Invalidate any in-flight delta computed against the old state
+        # and ask the next coordinator for the full table.
+        self._sync_basis += 1
+        self._needs_full_sync = True
 
     # ---------------------------------------------------------------- tokens
     def refresh_tokens(self, force: bool = False) -> bool:
@@ -184,6 +229,10 @@ class Controller:
             "entries": monitor.table.snapshot(),
             "host": self.server.name,
             "host_jobs": sorted(monitor.active_local_jobs()),
+            # Delta-encoding handshake (consumed by the batched
+            # coordinator; ignored by the pairwise protocol).
+            "basis": self._sync_basis,
+            "full": self._needs_full_sync,
         }
 
     def _sync_loop(self):
@@ -231,7 +280,7 @@ class Controller:
                     "sync", probe, size=_PROBE_WIRE_BYTES, timeout=timeout))
                  for name in sorted(self._peers)]
         degraded = False
-        responders: List[str] = []
+        responders: List[tuple] = []
         for name, call in pulls:
             try:
                 resp = yield call
@@ -240,22 +289,29 @@ class Controller:
                 continue
             table.merge(resp["entries"])
             self.presence[resp["host"]] = set(resp["host_jobs"])
-            responders.append(name)
+            responders.append((name, resp))
 
         # Scatter: the merged table + placement map, stamped with a
-        # content hash so unchanged state costs the peers nothing.
+        # content hash so unchanged state costs the peers nothing. With
+        # delta encoding on, each responder's push body carries only the
+        # entries that responder lacks (judged against the snapshot it
+        # just replied with); the nominal wire size — and therefore all
+        # simulated timing — still covers the full table, so the two
+        # encodings are trace-identical and the saving shows up only in
+        # the fabric's payload_bytes_sent accounting.
         self.presence[self.server.name] = \
             self.server.monitor.active_local_jobs()
         entries = table.snapshot()
         presence = {host: sorted(jobs)
                     for host, jobs in self.presence.items()}
         digest = _content_hash(entries, presence)
-        push = {"kind": "push", "host": self.server.name,
-                "entries": entries, "presence": presence, "hash": digest}
         size = _ENTRY_WIRE_BYTES * max(1, len(entries))
-        acks = [(name, self._peers[name].call(
-                    "sync", push, size=size, timeout=timeout))
-                for name in responders]
+        acks = []
+        for name, resp in responders:
+            push, wire = self._encode_push(entries, presence, digest, resp)
+            acks.append((name, self._peers[name].call(
+                "sync", push, size=size, timeout=timeout,
+                payload_bytes=wire)))
         for name, call in acks:
             try:
                 yield call
@@ -269,6 +325,33 @@ class Controller:
         self._last_push_hash = digest
         self.sync_rounds += 1
         self.refresh_tokens()
+
+    def _encode_push(self, entries, presence, digest, resp):
+        """The push body for one responder, plus its effective wire
+        bytes (``None`` = nominal).
+
+        Delta-encodable iff the toggle is on and the responder neither
+        requested a full resync nor predates the handshake. The delta
+        keeps exactly the entries whose merge at the responder would do
+        something: the merge updates on strictly-newer heartbeats, so an
+        entry the responder reported with an equal-or-newer heartbeat is
+        provably a no-op there (local heartbeats only move forward, so
+        the proof survives the reply→push latency) and is omitted.
+        """
+        push = {"kind": "push", "host": self.server.name,
+                "entries": entries, "presence": presence, "hash": digest}
+        if not _DELTA_SYNC_ENABLED or resp.get("basis") is None \
+                or resp.get("full"):
+            self.full_pushes += 1
+            return push, None
+        seen = {e["info"].job_id: e["last_heartbeat"]
+                for e in resp["entries"]}
+        absent = float("-inf")
+        delta = [e for e in entries
+                 if seen.get(e["info"].job_id, absent) < e["last_heartbeat"]]
+        push = dict(push, entries=delta, delta=True, basis=resp["basis"])
+        self.delta_pushes += 1
+        return push, _ENTRY_WIRE_BYTES * max(1, len(delta))
 
     def _answer_pull(self, rpc):
         """A coordinator probed us: reply our snapshot after the
@@ -300,6 +383,22 @@ class Controller:
         body = rpc.body
         rpc.reply({"ok": True}, size=_PROBE_WIRE_BYTES)
         self.sync_rounds += 1
+        if body.get("delta"):
+            if body["basis"] != self._sync_basis:
+                # We restarted between our pull reply and this push: the
+                # delta was computed against state we no longer hold, so
+                # applying it could leave silently-omitted entries
+                # missing forever. Drop it and pull the full table next
+                # round (our next reply advertises ``full``). This is
+                # the protocol's designed degraded window: until that
+                # resync lands we run on the post-restart local view,
+                # exactly as a crash already implies.
+                self.basis_mismatches += 1
+                self._needs_full_sync = True
+                return
+        elif self._needs_full_sync:
+            self._needs_full_sync = False
+            self.full_resyncs += 1
         digest = body["hash"]
         if _HASH_SKIP_ENABLED and digest == self._last_push_hash:
             self.push_hash_skips += 1

@@ -123,7 +123,8 @@ class IOWorker:
                     inode.ino, request.offset, request.size, self):
                 self.lock_waits += 1
                 released = Event(engine)
-                node.range_locks.wait(inode.ino, released)
+                node.range_locks.wait(inode.ino, released, request.offset,
+                                      request.size, owner=self)
                 yield released
         elif request.op in (OpType.OPEN, OpType.UNLINK, OpType.MKDIR):
             parent = self.server.fs.lookup(
@@ -134,7 +135,7 @@ class IOWorker:
             while not node.meta_locks.try_lock(parent.ino, self):
                 self.lock_waits += 1
                 released = Event(engine)
-                node.meta_locks.wait(parent.ino, released)
+                node.meta_locks.wait(parent.ino, released, owner=self)
                 yield released
 
     def _release_locks(self, request: IORequest) -> None:

@@ -27,6 +27,23 @@ Kernel inventory
   create/write/stat/truncate/unlink over striped files.
 - ``system_contended_write`` / ``system_disjoint_write`` — 3-job
   end-to-end runs on one server, with and without lock conflicts.
+
+Scale-regime kernels (ISSUE 5) probe the paths whose cost used to grow
+with total population instead of with what changed:
+
+- ``scheduler_dequeue_4k_jobs`` — churny dequeue over a 4096-job
+  backlog (every draw changes backlog membership: the worst case for
+  the exact per-draw rebuild, O(log n) for the Fenwick sampler).
+- ``lambda_sync_delta_n16`` — 16-server λ-sync epochs over a populated
+  but churn-light table; reports delta-encoded payload bytes against
+  the nominal full-table wire bytes.
+- ``contended_lock_fanout`` — one release against hundreds of parked
+  range waiters (range-indexed wake vs wake-everyone-and-retry).
+- ``gift_quiescent_epochs`` — GIFT boundaries over a large idle job
+  population (quiescence forecasting vs full per-boundary allocation).
+
+``--scale-sweep`` runs those kernels across growing populations with
+each fast path on and off, so the sublinear claims are measured.
 """
 
 from __future__ import annotations
@@ -45,13 +62,18 @@ import numpy as np
 from .bb import Cluster, ClusterConfig, ServerConfig
 from .core import (JobInfo, Policy, StatisticalTokenScheduler,
                    TokenAssignment)
+from .core import scheduler as _schedmod
 from .core.baselines import GiftScheduler
+from .core.baselines import gift as _giftmod
+from .fs import locking as _lockmod
 from .fs.filesystem import ThemisFS
+from .fs.locking import RangeLockTable
 from .sim.engine import Engine
 from .sim.rng import RngRegistry
 from .units import GB, KiB, MB, MiB
 
-__all__ = ["run_all", "run_and_write", "git_rev", "main"]
+__all__ = ["run_all", "run_and_write", "run_scale_sweep",
+           "run_and_write_sweep", "git_rev", "main"]
 
 
 class _Req:
@@ -219,6 +241,118 @@ def bench_fs_write_path() -> int:
     return ops
 
 
+def bench_scheduler_dequeue_scale(n_jobs: int = 4096,
+                                  draws: int = 8192) -> int:
+    """Churny dequeue over an *n_jobs*-deep backlog.
+
+    Every job starts backlogged with one request; each cycle pops a
+    request (emptying that job's queue — a backlog-membership change)
+    and refills the same job (another change). The exact path rebuilds
+    its restricted assignment on every draw in this regime, so its
+    per-op cost is O(n); the sampled path's is O(log n).
+    """
+    policy = Policy.parse("job-fair")
+    rng = RngRegistry(0).stream("bench.scheduler_dequeue_scale")
+    scheduler = StatisticalTokenScheduler(policy, rng)
+    scheduler.on_jobs_changed(_jobs(n_jobs), 0.0)
+    for i in range(n_jobs):
+        scheduler.enqueue(_Req(i), 0.0)
+    for _ in range(draws):
+        request = scheduler.dequeue(0.0)
+        scheduler.enqueue(_Req(request.job_id), 0.0)
+    return draws
+
+
+def bench_lambda_sync_delta(n_servers: int = 16,
+                            epochs: int = 24) -> Dict[str, float]:
+    """λ-sync epochs over a populated, churn-light table.
+
+    Every server starts knowing the same 48 jobs; after the first
+    scatter converges the cluster, each epoch's merged table is almost
+    unchanged, so delta pushes shrink to near-empty while the nominal
+    (timing-bearing) wire size still covers the full table. Reports the
+    epoch rate plus nominal vs effective payload bytes.
+    """
+    cluster = Cluster(ClusterConfig(
+        n_servers=n_servers, policy="job-fair",
+        server=ServerConfig(bandwidth=1 * GB, n_workers=1)))
+    for server in cluster.servers.values():
+        for info in _jobs(48):
+            server.monitor.table.observe(info, 0.0)
+    interval = cluster.config.server.sync_interval
+    t0 = time.perf_counter()
+    cluster.run(until=(epochs + 0.5) * interval)
+    wall = time.perf_counter() - t0
+    fabric = cluster.fabric
+    saved = fabric.bytes_sent - fabric.payload_bytes_sent
+    return {
+        "wall_s": round(wall, 6),
+        "ops": epochs,
+        "ops_per_s": round(epochs / wall, 1),
+        "nominal_bytes": fabric.bytes_sent,
+        "payload_bytes": fabric.payload_bytes_sent,
+        "delta_saved_bytes": saved,
+        "delta_saved_frac": round(saved / fabric.bytes_sent, 4)
+        if fabric.bytes_sent else 0.0,
+    }
+
+
+def bench_contended_lock_fanout(n_waiters: int = 512,
+                                rounds: int = 4000) -> int:
+    """One write-lock release against *n_waiters* parked range waiters.
+
+    Waiters park on disjoint byte ranges of one inode; a holder cycles
+    lock/release over one waiter's range per round. A range-indexed
+    release wakes exactly the one conflicting waiter; the wake-all path
+    wakes all of them and every loser re-parks — O(n) wakeups per
+    release. Woken waiters re-register, as the server worker loop does.
+    """
+    woken_log = []
+
+    class _Waiter:
+        __slots__ = ("key",)
+
+        def __init__(self, key):
+            self.key = key
+
+        def succeed(self):
+            woken_log.append(self.key)
+
+    table = RangeLockTable()
+    for i in range(n_waiters):
+        table.wait(1, _Waiter(i), i * 2048, 1024, owner=i)
+    holder = object()
+    for r in range(rounds):
+        i = r % n_waiters
+        table.try_lock_write(1, i * 2048, 1024, holder)
+        woken_log.clear()
+        table.unlock_write(1, holder)
+        for key in woken_log:  # losers retry, fail, and re-park (FIFO)
+            table.wait(1, _Waiter(key), key * 2048, 1024, owner=key)
+    return rounds
+
+
+def bench_gift_quiescent_epochs(n_jobs: int = 256,
+                                epochs: int = 2000) -> int:
+    """GIFT boundaries over a large idle population.
+
+    One short burst primes budgets and coupons, then every boundary is
+    quiescent: the forecasting path advances it with coupon accrual
+    only, while the full path re-sorts the job set and rebuilds demand
+    and budget tables for all *n_jobs* each time.
+    """
+    sched = GiftScheduler(capacity=100.0, mu=1.0)
+    sched.on_jobs_changed(_jobs(n_jobs), 0.0)
+    now = 0.0
+    sched.enqueue(_Req(1, 5.0), now)
+    while sched.dequeue(now) is not None:
+        pass
+    for _ in range(epochs):
+        now += 1.0  # lint: disable=PERF102 -- sim-clock step, not a float sum
+        sched.dequeue(now)
+    return epochs
+
+
 def _bench_system(contended: bool, n_writes: int) -> Dict[str, float]:
     """A representative 3-job system run on one 4-worker server.
 
@@ -303,8 +437,128 @@ def run_all(quick: bool) -> Dict[str, Dict[str, float]]:
         "fs_write_path": _time_kernel(bench_fs_write_path, rounds),
         "system_contended_write": _bench_system(True, writes),
         "system_disjoint_write": _bench_system(False, writes),
+        # Scale-regime kernels: quick mode shrinks the populations so
+        # the CI smoke job still covers the code paths cheaply.
+        "scheduler_dequeue_4k_jobs": _time_kernel(
+            lambda: bench_scheduler_dequeue_scale(
+                n_jobs=512 if quick else 4096,
+                draws=2048 if quick else 8192),
+            min(rounds, 3)),
+        "lambda_sync_delta_n16": bench_lambda_sync_delta(
+            n_servers=8 if quick else 16,
+            epochs=12 if quick else 24),
+        "contended_lock_fanout": _time_kernel(
+            lambda: bench_contended_lock_fanout(
+                n_waiters=128 if quick else 512,
+                rounds=1000 if quick else 4000),
+            min(rounds, 3)),
+        "gift_quiescent_epochs": _time_kernel(
+            lambda: bench_gift_quiescent_epochs(
+                n_jobs=64 if quick else 256,
+                epochs=500 if quick else 2000),
+            min(rounds, 3)),
     }
     return results
+
+
+# ------------------------------------------------------------- scale sweep
+#: kernel name -> (factory(population) -> op-counting callable,
+#:                 fast-path toggle setter, population ladder).
+_SCALE_SWEEP = {
+    "scheduler_dequeue": (
+        lambda n: (lambda: bench_scheduler_dequeue_scale(n_jobs=n,
+                                                         draws=4096)),
+        _schedmod.set_sampled_dequeue_enabled,
+        (256, 1024, 4096),
+    ),
+    "contended_lock_fanout": (
+        lambda n: (lambda: bench_contended_lock_fanout(n_waiters=n,
+                                                       rounds=2000)),
+        _lockmod.set_range_wake_enabled,
+        (64, 256, 1024),
+    ),
+    "gift_quiescent_epochs": (
+        lambda n: (lambda: bench_gift_quiescent_epochs(n_jobs=n,
+                                                       epochs=1000)),
+        _giftmod.set_gift_quiescence_enabled,
+        (64, 256, 1024),
+    ),
+}
+
+
+def run_scale_sweep(quick: bool = False) -> Dict[str, list]:
+    """Each scale kernel across growing populations, fast path on/off.
+
+    The op count per kernel is population-independent, so ops/s across
+    the ladder directly exposes how per-op cost grows with population:
+    a sublinear fast path holds its rate roughly flat while the exact
+    path's rate decays ~linearly.
+    """
+    rounds = 2 if quick else 5
+    sweep: Dict[str, list] = {}
+    for name, (factory, toggle, ladder) in _SCALE_SWEEP.items():
+        if quick:
+            ladder = ladder[:2]
+        rows = []
+        for population in ladder:
+            fn = factory(population)
+            try:
+                toggle(True)
+                fast = _time_kernel(fn, rounds)["ops_per_s"]
+                toggle(False)
+                exact = _time_kernel(fn, rounds)["ops_per_s"]
+            finally:
+                toggle(True)
+            rows.append({"population": population,
+                         "fast_ops_per_s": fast,
+                         "exact_ops_per_s": exact,
+                         "speedup": round(fast / exact, 2)})
+        sweep[name] = rows
+    # λ-sync delta: the fast path changes wire accounting, not host
+    # time, so its sweep reports payload savings across cluster sizes.
+    rows = []
+    for n_servers in ((4, 8) if quick else (4, 8, 16)):
+        r = bench_lambda_sync_delta(n_servers=n_servers, epochs=12)
+        rows.append({"population": n_servers,
+                     "nominal_bytes": r["nominal_bytes"],
+                     "payload_bytes": r["payload_bytes"],
+                     "delta_saved_frac": r["delta_saved_frac"]})
+    sweep["lambda_sync_delta"] = rows
+    return sweep
+
+
+def run_and_write_sweep(quick: bool = False,
+                        out: Optional[str] = None) -> int:
+    """Run the scale sweep, print the table, write ``SWEEP_<rev>.json``."""
+    rev = git_rev()
+    sweep = run_scale_sweep(quick)
+    payload = {
+        "rev": rev,
+        "quick": quick,
+        # lint: disable=DET003 -- host metadata stamp in bench output, not sim state
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "sweep": sweep,
+    }
+    out = out or f"SWEEP_{rev}.json"
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, rows in sweep.items():
+        print(f"\n{name}")
+        for row in rows:
+            if "speedup" in row:
+                print(f"  n={row['population']:>5}  "
+                      f"fast {row['fast_ops_per_s']:>12,.0f} ops/s  "
+                      f"exact {row['exact_ops_per_s']:>12,.0f} ops/s  "
+                      f"speedup {row['speedup']:.2f}x")
+            else:
+                print(f"  n={row['population']:>5}  "
+                      f"nominal {row['nominal_bytes']:>12,} B  "
+                      f"payload {row['payload_bytes']:>12,} B  "
+                      f"saved {row['delta_saved_frac']:.1%}")
+    print(f"\nwrote {out}")
+    return 0
 
 
 def run_and_write(quick: bool = False, out: Optional[str] = None) -> int:
@@ -337,7 +591,12 @@ def main(argv=None) -> int:
                         help="fewer rounds / smaller system run (CI smoke)")
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_<rev>.json in cwd)")
+    parser.add_argument("--scale-sweep", action="store_true",
+                        help="sweep the scale-regime kernels across "
+                             "populations with fast paths on/off")
     args = parser.parse_args(argv)
+    if args.scale_sweep:
+        return run_and_write_sweep(quick=args.quick, out=args.out)
     return run_and_write(quick=args.quick, out=args.out)
 
 

@@ -114,6 +114,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="fewer rounds / smaller system run (CI smoke)")
     bench.add_argument("--out", default=None,
                        help="output path (default BENCH_<rev>.json in cwd)")
+    bench.add_argument("--scale-sweep", action="store_true",
+                       help="sweep scale-regime kernels across populations "
+                            "with fast paths on/off (writes SWEEP_<rev>.json)")
     return parser
 
 
@@ -214,7 +217,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_faults(args)
         if args.command == "bench":
             # Imported lazily: the bench kernels pull in the whole stack.
-            from .bench import run_and_write
+            from .bench import run_and_write, run_and_write_sweep
+            if args.scale_sweep:
+                return run_and_write_sweep(quick=args.quick, out=args.out)
             return run_and_write(quick=args.quick, out=args.out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

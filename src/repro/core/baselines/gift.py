@@ -43,7 +43,23 @@ from ..jobinfo import JobInfo
 from ..queues import QueueSet
 from ..scheduler import Scheduler
 
-__all__ = ["GiftScheduler"]
+__all__ = ["GiftScheduler", "set_gift_quiescence_enabled",
+           "gift_quiescence_enabled"]
+
+#: Process-wide switch for skipping ``_allocate`` on provably-quiescent
+#: epoch boundaries (see :meth:`GiftScheduler._skip_quiescent`).
+_QUIESCENCE_ENABLED = True
+
+
+def set_gift_quiescence_enabled(enabled: bool) -> None:
+    """Enable/disable quiescent-epoch forecasting (module-wide)."""
+    global _QUIESCENCE_ENABLED
+    _QUIESCENCE_ENABLED = bool(enabled)
+
+
+def gift_quiescence_enabled() -> bool:
+    """Whether quiescent epoch boundaries bypass the full allocation."""
+    return _QUIESCENCE_ENABLED
 
 
 class GiftScheduler(Scheduler):
@@ -80,7 +96,12 @@ class GiftScheduler(Scheduler):
         self._arrived_epoch: Dict[int, float] = {}  # bytes enqueued this epoch
         self._arrived_last: Dict[int, float] = {}
         self.coupons: Dict[int, float] = {}        # donated-bytes balance
+        # True while _budgets/_fair_last hold the canonical quiescent
+        # form (demand-free fair*MIN_BUDGET_FRACTION budgets) for the
+        # current job set — the precondition for _skip_quiescent.
+        self._quiescent_form = False
         self.epochs = 0
+        self.quiescent_skips = 0
         self.lp_calls = 0
         self.lp_cache_hits = 0
 
@@ -94,6 +115,9 @@ class GiftScheduler(Scheduler):
     def on_jobs_changed(self, active_jobs: Sequence[JobInfo],
                         now: float) -> None:
         self._active = list(active_jobs)
+        # A changed job set changes fair shares; the standing budgets no
+        # longer match what _allocate would produce.
+        self._quiescent_form = False
 
     def dequeue(self, now: float) -> Optional[Any]:
         self._maybe_reallocate(now)
@@ -127,7 +151,39 @@ class GiftScheduler(Scheduler):
     def _maybe_reallocate(self, now: float) -> None:
         if self._epoch_end is not None and now < self._epoch_end:
             return
+        if (_QUIESCENCE_ENABLED and self._quiescent_form
+                and not self._used_epoch and not self._arrived_epoch
+                and not self.queues):
+            self._skip_quiescent(now)
+            return
         self._allocate(now)
+
+    def _skip_quiescent(self, now: float) -> None:
+        """Advance a provably-quiescent epoch boundary without
+        :meth:`_allocate`.
+
+        Preconditions (checked by the caller): the standing budgets are
+        in canonical quiescent form — the last allocation saw zero
+        demand, so every budget is exactly ``fair * MIN_BUDGET_FRACTION``
+        with no reward extras — the job set has not changed since, and
+        nothing was served or enqueued this epoch. Under those
+        conditions a full ``_allocate`` would recompute byte-identical
+        ``_budgets`` / ``_fair_last`` (same job set ⇒ same fair share;
+        zero demand ⇒ no claimants, so the reward path and its LP memo
+        are never consulted). The only state it would actually change is
+        what this method replays: the epoch counter, the boundary, and
+        the donors' coupon accrual — each idle job donated its entire
+        fair share. Coupons accrue one boundary at a time (not
+        ``k * fair`` after k skips) so float rounding matches the exact
+        path bit for bit.
+        """
+        self.epochs += 1
+        self._epoch_end = now + self.mu
+        coupons = self.coupons
+        for job_id, fair in self._fair_last.items():
+            coupons[job_id] = coupons.get(job_id, 0.0) + fair
+        self._arrived_last = {}
+        self.quiescent_skips += 1
 
     def _allocate(self, now: float) -> None:
         self.epochs += 1
@@ -137,6 +193,11 @@ class GiftScheduler(Scheduler):
         used, self._used_epoch = self._used_epoch, {}
         arrived, self._arrived_epoch = self._arrived_epoch, {}
         self._arrived_last = arrived
+        # Zero demand at this boundary (no arrivals, no backlog) means
+        # every budget below comes out as fair * MIN_BUDGET_FRACTION
+        # with no reward extras — the canonical quiescent form that
+        # future boundaries may skip re-deriving.
+        self._quiescent_form = not arrived and not self.queues
 
         # Settle last epoch: donors bank unused fair share; spare is what
         # the device did not serve.

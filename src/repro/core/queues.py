@@ -29,7 +29,7 @@ class QueueSet:
     """A set of FIFO queues keyed by job id."""
 
     __slots__ = ("_queues", "_sorted_jobs", "_total", "_total_cost",
-                 "_job_cost", "_membership_version")
+                 "_job_cost", "membership_version")
 
     def __init__(self):
         self._queues: Dict[int, Deque[Any]] = {}
@@ -37,7 +37,13 @@ class QueueSet:
         self._total = 0
         self._total_cost = 0.0
         self._job_cost: Dict[int, float] = {}
-        self._membership_version = 0
+        #: Counter bumped whenever a job's queue becomes (non)empty. Two
+        #: reads observing the same value are guaranteed to have seen the
+        #: same set of backlogged jobs — the scheduler's draw cache keys
+        #: on this together with its assignment version. A plain
+        #: attribute (not a property): it is read twice per enqueue and
+        #: dequeue, where descriptor dispatch is measurable.
+        self.membership_version = 0
 
     def push(self, item: Any) -> None:
         """Append *item* to its job's queue."""
@@ -46,7 +52,7 @@ class QueueSet:
         if queue is None:
             queue = self._queues[job_id] = deque()
             insort(self._sorted_jobs, job_id)
-            self._membership_version += 1
+            self.membership_version += 1
         queue.append(item)
         cost = item.cost
         self._total += 1
@@ -64,7 +70,7 @@ class QueueSet:
         if not queue:
             del self._queues[job_id]
             del self._sorted_jobs[bisect_left(self._sorted_jobs, job_id)]
-            self._membership_version += 1
+            self.membership_version += 1
             # Reset the accumulator at empty so float drift cannot build
             # up across a job's lifetime.
             self._job_cost[job_id] = 0.0
@@ -92,15 +98,9 @@ class QueueSet:
         """Job ids with at least one queued request, sorted."""
         return list(self._sorted_jobs)
 
-    @property
-    def membership_version(self) -> int:
-        """Counter bumped whenever a job's queue becomes (non)empty.
-
-        Two calls observing the same version are guaranteed to see the
-        same set of backlogged jobs — the scheduler's draw cache keys on
-        this together with its assignment version.
-        """
-        return self._membership_version
+    def backlogged_jobs(self) -> int:
+        """Number of jobs with at least one queued request (O(1))."""
+        return len(self._sorted_jobs)
 
     @property
     def total(self) -> int:
@@ -126,7 +126,7 @@ class QueueSet:
         self._total = 0
         self._total_cost = 0.0
         self._job_cost.clear()
-        self._membership_version += 1
+        self.membership_version += 1
         return items
 
     def __len__(self) -> int:

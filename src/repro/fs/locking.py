@@ -12,56 +12,171 @@ worker's service window; the lock table is what decides whether two
 Both are non-blocking try-lock interfaces.
 
 Waiting is **event-driven**: a caller whose ``try_lock`` fails registers
-a waiter with :meth:`~RangeLockTable.wait` and parks on it; every
-release wakes all waiters on that inode (they retry, and losers re-wait)
-instead of the waiters polling on a timer. Wakeups happen in FIFO
-registration order, so contention resolution is deterministic. The
-tables stay simulation-agnostic — a waiter is anything with a
-``succeed()`` method, which :class:`repro.sim.process.Event` provides.
+a waiter with :meth:`~RangeLockTable.wait` and parks on it. Waiter
+entries are keyed by *owner* and keep their FIFO position across retry
+failures: a woken loser that re-registers re-arms its existing entry in
+place instead of moving to the back of the queue, so contention
+resolution order is deterministic and independent of how many no-op
+wakeups happen in between.
+
+Release-time wakeup policy is a module toggle
+(:func:`set_range_wake_enabled`):
+
+- **range-indexed** (the default): a write-lock release wakes only the
+  waiters whose byte ranges overlap a released range, in FIFO order; a
+  metadata-mutex release wakes only the head waiter. Waiters that could
+  not possibly acquire are never scheduled, so a release's wakeup cost
+  scales with the *conflicting* waiters, not the inode's total fan-out.
+- **wake-all** (toggle off, the original behaviour): every release
+  wakes every waiter on the inode and losers re-register.
+
+The two policies produce bit-identical simulated traces: a waiter whose
+range overlaps no released range retries against the same set of
+conflicting held locks and deterministically fails, so its wake-all
+wakeup is a pure no-op — and because losers keep their queue position,
+skipping the no-op leaves the acquisition order unchanged. The tables
+stay simulation-agnostic — a waiter is anything with a ``succeed()``
+method, which :class:`repro.sim.process.Event` provides.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import FSError
 
-__all__ = ["RangeLockTable", "MetadataLockTable"]
+__all__ = ["RangeLockTable", "MetadataLockTable",
+           "set_range_wake_enabled", "range_wake_enabled"]
+
+#: Process-wide switch for range-indexed (conflict-only) wakeups.
+_RANGE_WAKE_ENABLED = True
+
+
+def set_range_wake_enabled(enabled: bool) -> None:
+    """Enable/disable conflict-indexed wakeups (module-wide)."""
+    global _RANGE_WAKE_ENABLED
+    _RANGE_WAKE_ENABLED = bool(enabled)
+
+
+def range_wake_enabled() -> bool:
+    """Whether releases wake only range-conflicting waiters."""
+    return _RANGE_WAKE_ENABLED
+
+
+class _WaitEntry:
+    """One parked waiter: its conflict range and one-shot wake event."""
+
+    __slots__ = ("offset", "end", "event", "woken")
+
+    def __init__(self, offset: Optional[int], end: Optional[int],
+                 event: object):
+        self.offset = offset   # None = conflicts with any release
+        self.end = end
+        self.event = event
+        self.woken = False
 
 
 class _WaiterMixin:
-    """FIFO wake-all waiter queues keyed by inode number."""
+    """FIFO waiter queues keyed by inode number, entries keyed by owner.
+
+    Entries are one-shot (a woken waiter is skipped by later wakes) but
+    *positional*: re-registering under the same owner re-arms the entry
+    where it already sits. An entry leaves the queue when its owner
+    acquires the lock (``try_lock*`` success) or on the crash reset.
+    """
 
     __slots__ = ("_waiters",)
 
     def __init__(self):
-        self._waiters: Dict[int, List[object]] = {}
+        # ino -> {owner key -> entry}; dicts preserve insertion order.
+        self._waiters: Dict[int, Dict[object, _WaitEntry]] = {}
 
-    def wait(self, ino: int, waiter: object) -> None:
-        """Register *waiter* to be woken at the next release on *ino*.
+    def wait(self, ino: int, waiter: object, offset: Optional[int] = None,
+             length: Optional[int] = None, owner: object = None) -> None:
+        """Register *waiter* to be woken at the next conflicting release
+        on *ino*.
 
         *waiter* needs a ``succeed()`` method (e.g. a sim ``Event``).
-        Each registration is one-shot: a woken waiter that loses the
-        retry race must register a fresh waiter.
+        *offset*/*length* scope the wakeup to releases overlapping that
+        byte range (``None`` = woken by any release). *owner* keys the
+        entry so a retry loser re-arms in place; it defaults to the
+        waiter object itself (every call then appends a fresh entry).
         """
-        self._waiters.setdefault(ino, []).append(waiter)
+        key = waiter if owner is None else owner
+        queue = self._waiters.get(ino)
+        if queue is None:
+            queue = self._waiters[ino] = {}
+        end = None if offset is None or length is None else offset + length
+        entry = queue.get(key)
+        if entry is not None:
+            # Re-arm in place: the loser keeps its FIFO position.
+            entry.offset = offset
+            entry.end = end
+            entry.event = waiter
+            entry.woken = False
+        else:
+            queue[key] = _WaitEntry(offset, end, waiter)
 
     def waiters(self, ino: int) -> int:
-        """Number of waiters currently parked on *ino*."""
-        return len(self._waiters.get(ino, ()))
+        """Number of waiters currently parked (armed) on *ino*."""
+        queue = self._waiters.get(ino)
+        if not queue:
+            return 0
+        return sum(1 for entry in queue.values() if not entry.woken)
 
-    def _wake(self, ino: int) -> None:
-        pending = self._waiters.pop(ino, None)
-        if pending:
-            for waiter in pending:
-                waiter.succeed()
+    def _discard_waiter(self, ino: int, owner: object) -> None:
+        """Drop *owner*'s entry on *ino* (called on lock acquisition)."""
+        queue = self._waiters.get(ino)
+        if queue and queue.pop(owner, None) is not None and not queue:
+            del self._waiters[ino]
+
+    def _wake(self, ino: int,
+              ranges: Optional[List[Tuple[int, int]]] = None) -> int:
+        """Wake armed waiters on *ino* in FIFO order; returns the count.
+
+        With range-indexed wakeups enabled and *ranges* given, only
+        waiters overlapping a released range are woken; otherwise every
+        armed waiter is. Entries stay queued (one-shot, positional) —
+        the owner either acquires (entry discarded) or re-arms.
+        """
+        queue = self._waiters.get(ino)
+        if not queue:
+            return 0
+        indexed = _RANGE_WAKE_ENABLED and ranges is not None
+        woken = 0
+        for entry in list(queue.values()):
+            if entry.woken:
+                continue
+            if indexed and entry.offset is not None:
+                for lo, hi in ranges:
+                    if entry.offset < hi and lo < entry.end:
+                        break
+                else:
+                    continue
+            entry.woken = True
+            woken += 1
+            entry.event.succeed()
+        return woken
+
+    def _wake_head(self, ino: int) -> int:
+        """Wake only the first armed waiter (mutex release fast path)."""
+        queue = self._waiters.get(ino)
+        if not queue:
+            return 0
+        for entry in queue.values():
+            if not entry.woken:
+                entry.woken = True
+                entry.event.succeed()
+                return 1
+        return 0
 
     def _wake_all(self) -> None:
         """Wake every parked waiter on every inode (crash reset path)."""
         waiters, self._waiters = self._waiters, {}
-        for pending in waiters.values():
-            for waiter in pending:
-                waiter.succeed()
+        for queue in waiters.values():
+            for entry in queue.values():
+                if not entry.woken:
+                    entry.event.succeed()
 
 
 class RangeLockTable(_WaiterMixin):
@@ -88,25 +203,42 @@ class RangeLockTable(_WaiterMixin):
             if offset < e and o < end:
                 return False
         self._writes.setdefault(ino, []).append((offset, end, owner))
+        if self._waiters:
+            self._discard_waiter(ino, owner)
         return True
 
     def unlock_write(self, ino: int, owner: object) -> int:
         """Release all write locks held by *owner* on *ino*; returns count.
 
-        Releasing wakes every waiter parked on *ino*.
+        Releasing wakes the waiters parked on *ino* whose ranges overlap
+        a released range (every waiter in wake-all mode).
         """
         held = self._writes.get(ino)
         if not held:
             return 0
-        kept = [(o, e, w) for (o, e, w) in held if w is not owner]
-        released = len(held) - len(kept)
+        if not self._waiters.get(ino):
+            # Nobody parked on this inode: drop the owner's locks without
+            # collecting the freed ranges (both wake policies no-op).
+            kept = [t for t in held if t[2] is not owner]
+            if kept:
+                self._writes[ino] = kept
+            else:
+                self._writes.pop(ino, None)
+            return len(held) - len(kept)
+        kept = []
+        freed: List[Tuple[int, int]] = []
+        for o, e, w in held:
+            if w is owner:
+                freed.append((o, e))
+            else:
+                kept.append((o, e, w))
         if kept:
             self._writes[ino] = kept
         else:
             self._writes.pop(ino, None)
-        if released:
-            self._wake(ino)
-        return released
+        if freed:
+            self._wake(ino, freed)
+        return len(freed)
 
     def write_locks_held(self, ino: int) -> int:
         """Number of write locks currently held on *ino*."""
@@ -138,15 +270,26 @@ class MetadataLockTable(_WaiterMixin):
         current = self._held.get(ino)
         if current is None:
             self._held[ino] = owner
+            if self._waiters:
+                self._discard_waiter(ino, owner)
             return True
         return current is owner  # re-entrant for the same owner
 
     def unlock(self, ino: int, owner: object) -> None:
-        """Release the mutex (must be the owner) and wake waiters."""
+        """Release the mutex (must be the owner) and wake waiters.
+
+        With range-indexed wakeups enabled only the head waiter wakes —
+        a mutex has exactly one next holder, and the head deterministically
+        wins the retry, so waking the rest is a no-op the wake-all mode
+        performs and this mode skips.
+        """
         if self._held.get(ino) is not owner:
             raise FSError(f"unlocking metadata lock not held by owner: ino={ino}")
         del self._held[ino]
-        self._wake(ino)
+        if _RANGE_WAKE_ENABLED:
+            self._wake_head(ino)
+        else:
+            self._wake(ino)
 
     def unlock_if_held(self, ino: int, owner: object) -> bool:
         """Release the mutex only if *owner* holds it; True if released.
@@ -158,7 +301,10 @@ class MetadataLockTable(_WaiterMixin):
         if self._held.get(ino) is not owner:
             return False
         del self._held[ino]
-        self._wake(ino)
+        if _RANGE_WAKE_ENABLED:
+            self._wake_head(ino)
+        else:
+            self._wake(ino)
         return True
 
     def reset(self) -> None:

@@ -12,7 +12,7 @@ from typing import Iterator, List, Set
 from ..core import Finding, Module, Rule, Severity, register
 from ._util import dotted_name, iter_functions, statements_in_order
 
-__all__ = ["MissingSlotsRule", "FloatAccumulationRule"]
+__all__ = ["MissingSlotsRule", "FloatAccumulationRule", "ListHeadShiftRule"]
 
 #: Modules whose classes are instantiated inside bench kernels; the
 #: event/request/extent churn there makes per-instance ``__dict__``
@@ -20,7 +20,8 @@ __all__ = ["MissingSlotsRule", "FloatAccumulationRule"]
 HOT_MODULE_SUFFIXES = (
     "repro/sim/engine.py", "repro/sim/process.py", "repro/sim/resources.py",
     "repro/core/tokens.py", "repro/core/queues.py",
-    "repro/core/scheduler.py", "repro/fs/striping.py",
+    "repro/core/scheduler.py", "repro/core/sampled.py",
+    "repro/fs/striping.py",
     "repro/fs/storage.py", "repro/fs/locking.py", "repro/net/message.py",
     "repro/bb/request.py",
 )
@@ -137,3 +138,56 @@ class FloatAccumulationRule(Rule):
                             f"float accumulator '{node.target.id}' grown "
                             "with += in a loop; consider math.fsum over "
                             "the collected terms")
+
+
+@register
+class ListHeadShiftRule(Rule):
+    """PERF103: ``list.pop(0)`` / ``list.insert(0, …)`` on a hot path.
+
+    Removing or inserting at a list's head shifts every remaining
+    element — O(n) per call, O(n²) when it hides inside a drain loop.
+    The scale-regime kernels (DESIGN.md §10) exist precisely because
+    such costs are invisible at 16 jobs and dominate at 4096; prefer
+    ``collections.deque`` (``popleft``/``appendleft``), an index cursor
+    into the list, or the repo's ``QueueSet``/heap structures. Only
+    fires in the bench-kernel hot modules: a head-pop on a three-element
+    config list elsewhere is fine. Advisory — receiver types are not
+    inferred, so waive true non-lists inline with a reason.
+    """
+
+    id = "PERF103"
+    severity = Severity.ADVISORY
+    title = "O(n) list head pop/insert on hot path"
+    rationale = ("pop(0)/insert(0, ...) shift the whole list; deque or "
+                 "an index cursor is O(1)")
+    scopes = ("src",)
+
+    @staticmethod
+    def _is_zero(node: ast.expr) -> bool:
+        return (isinstance(node, ast.Constant)
+                and node.value == 0 and not isinstance(node.value, bool))
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        norm = module.path.replace("\\", "/")
+        if not any(norm.endswith(sfx) for sfx in HOT_MODULE_SUFFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or \
+                    not isinstance(node.func, ast.Attribute) or \
+                    node.keywords:
+                continue
+            attr = node.func.attr
+            # dict.pop(0, default) takes two args; one exact-zero arg is
+            # the list head-pop shape.
+            if attr == "pop" and len(node.args) == 1 and \
+                    self._is_zero(node.args[0]):
+                what = "pop(0)"
+            elif attr == "insert" and len(node.args) == 2 and \
+                    self._is_zero(node.args[0]):
+                what = "insert(0, ...)"
+            else:
+                continue
+            yield self.finding(
+                module, node,
+                f"{what} shifts every element on a bench hot path; "
+                "use collections.deque or an index cursor")

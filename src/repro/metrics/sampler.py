@@ -187,7 +187,11 @@ class ThroughputSampler:
         (nondecreasing) record times bracket the window, and the
         cumulative-byte prefixes give the windowed sum by subtraction.
         Binned mode apportions each stored bin by its fractional overlap
-        with the window (exact at ``bin_interval`` resolution).
+        with the window (exact at ``bin_interval`` resolution). The bin
+        containing the last completion is treated as spanning only up to
+        that completion time — a simulation rarely ends on a bin
+        boundary, and spreading the tail bytes across the full bin width
+        would under-count any window that covers the whole recording.
         """
         if t1 <= t0:
             return 0.0
@@ -214,22 +218,36 @@ class ThroughputSampler:
         if not bins:
             return 0.0
         w = self.bin_interval
+        last = self._last_time
         lo_bin = int(t0 // w)
         hi_bin = int(np.ceil(t1 / w))
+
+        def contrib(b: int, nbytes: float) -> float:
+            lo = b * w
+            hi = min((b + 1) * w, last)
+            # Bins exist only for times <= last, so lo <= last always;
+            # the clamp truncates exactly one bin — the one holding the
+            # final completion. If that leaves a zero-width span (all of
+            # the bin's records landed exactly on its left edge), the
+            # bytes are a point mass at lo, counted iff the half-open
+            # window covers that instant.
+            if hi <= lo:
+                return nbytes if t0 <= lo < t1 else 0.0
+            overlap = min(t1, hi) - max(t0, lo)
+            if overlap <= 0:
+                return 0.0
+            return nbytes * (overlap / (hi - lo))
+
         total = 0.0
         if hi_bin - lo_bin < len(bins):
-            indices = range(lo_bin, hi_bin)
             get = bins.get
-            for b in indices:
+            for b in range(lo_bin, hi_bin):
                 nbytes = get(b)
                 if nbytes:
-                    overlap = min(t1, (b + 1) * w) - max(t0, b * w)
                     # lint: disable=PERF102 -- hot query path; bins are few
-                    total += nbytes * (overlap / w)
+                    total += contrib(b, nbytes)
         else:
             for b, nbytes in bins.items():
-                overlap = min(t1, (b + 1) * w) - max(t0, b * w)
-                if overlap > 0:
-                    # lint: disable=PERF102 -- hot query path; bins are few
-                    total += nbytes * (overlap / w)
+                # lint: disable=PERF102 -- hot query path; bins are few
+                total += contrib(b, nbytes)
         return total / (t1 - t0)

@@ -69,6 +69,9 @@ class Fabric:
         self._nodes: Dict[str, NodeHandle] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: effective wire bytes after payload-level encodings (equals
+        #: bytes_sent when no message sets Message.payload_bytes).
+        self.payload_bytes_sent = 0
         # Fault-injection hooks: both checks are falsy no-ops in a
         # healthy cluster, so the clean send path pays two branch tests.
         self._fault_filter: Optional[Callable[[Message], FaultVerdict]] = None
@@ -137,6 +140,7 @@ class Fabric:
         cluster). Topology and fault state are untouched."""
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.payload_bytes_sent = 0
         self.dropped_messages = 0
         self.delayed_messages = 0
 
@@ -154,6 +158,9 @@ class Fabric:
         dst = self.node(message.dst)
         self.messages_sent += 1
         self.bytes_sent += message.size
+        self.payload_bytes_sent += (
+            message.size if message.payload_bytes is None
+            else message.payload_bytes)
 
         delivered = Event(self.engine)
         if self._down and message.src in self._down:

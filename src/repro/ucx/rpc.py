@@ -37,13 +37,15 @@ class RpcRequest:
         self.reply_to: Address = msg_payload["reply_to"]
         self.replied = False
 
-    def reply(self, body: Any = None, size: int = 0) -> Event:
+    def reply(self, body: Any = None, size: int = 0,
+              payload_bytes: Optional[int] = None) -> Event:
         """Send the response (once); the event fires on remote enqueue."""
         if self.replied:
             raise UCXError(f"duplicate reply to call {self.cid}")
         self.replied = True
         ep = self._server.worker.create_endpoint(self.reply_to)
-        return ep.send(RESP_TAG, {"cid": self.cid, "body": body}, size=size)
+        return ep.send(RESP_TAG, {"cid": self.cid, "body": body}, size=size,
+                       payload_bytes=payload_bytes)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<RpcRequest op={self.op!r} cid={self.cid}>"
@@ -84,11 +86,15 @@ class RpcClient:
         worker.on(RESP_TAG, self._on_response)
 
     def call(self, op: str, body: Any = None, size: int = 0,
-             timeout: Optional[float] = None) -> Event:
+             timeout: Optional[float] = None,
+             payload_bytes: Optional[int] = None) -> Event:
         """Invoke *op* remotely; the event's value is the response body.
 
         ``size`` is the request's on-wire byte count (e.g. write payload
         bytes); response size is chosen by the server when replying.
+        ``payload_bytes`` optionally records the effective wire bytes
+        after payload-level encoding (accounting only; timing still
+        follows ``size``).
 
         With *timeout* set, the event instead fails with
         :class:`~repro.errors.RpcTimeout` if no response arrives within
@@ -108,6 +114,7 @@ class RpcClient:
                 "reply_to": self.worker.address,
             },
             size=size,
+            payload_bytes=payload_bytes,
         )
         if timeout is not None:
             timer = self.worker.engine.timeout(timeout)

@@ -155,8 +155,13 @@ class Endpoint:
         self.worker = worker
         self.remote = remote
 
-    def send(self, tag: str, payload=None, size: int = 0) -> Event:
-        """Send a tagged message; the event fires on remote enqueue."""
+    def send(self, tag: str, payload=None, size: int = 0,
+             payload_bytes=None) -> Event:
+        """Send a tagged message; the event fires on remote enqueue.
+
+        ``payload_bytes`` optionally records the effective wire bytes
+        after payload-level encoding (see :class:`~repro.net.message.Message`).
+        """
         self.worker._check_open()
         node, worker_name = self.remote
         msg = Message(
@@ -166,6 +171,7 @@ class Endpoint:
             payload=payload,
             size=size,
             worker=worker_name,
+            payload_bytes=payload_bytes,
         )
         return self.worker.context.fabric.send(msg)
 

@@ -5,12 +5,17 @@ economy the batching buys (2·(N−1) pairs per epoch vs N·(N−1))."""
 import numpy as np
 
 from repro.bb import Cluster, ClusterConfig, ServerConfig
-from repro.bb.controller import (set_sync_hash_skip_enabled,
+from repro.bb.controller import (set_sync_delta_enabled,
+                                 set_sync_hash_skip_enabled,
+                                 sync_delta_enabled,
                                  sync_hash_skip_enabled)
 from repro.core import JobInfo
+from repro.core import scheduler as schedmod
+from repro.core.baselines import gift as giftmod
 from repro.core.fairness import all_gather_merge
 from repro.core.jobinfo import JobStatusTable
 from repro.fs import filesystem as fsmod
+from repro.fs import locking as lockmod
 from repro.fs import striping as stripemod
 from repro.core import policy as policymod
 from repro.units import GB, MB
@@ -146,15 +151,61 @@ class TestMessageEconomy:
         assert cluster.fabric.bytes_sent == 0
 
 
+class TestDeltaSync:
+    """Delta-encoded scatter pushes: same trace, fewer payload bytes."""
+
+    def test_delta_is_trace_neutral(self):
+        assert sync_delta_enabled()
+        delta = _trace(_run_cluster(True, seed=4, n_servers=4))
+        set_sync_delta_enabled(False)
+        try:
+            full = _trace(_run_cluster(True, seed=4, n_servers=4))
+        finally:
+            set_sync_delta_enabled(True)
+        assert delta == full
+
+    def test_delta_shrinks_payload_bytes_not_wire_size(self):
+        def measure(flag):
+            set_sync_delta_enabled(flag)
+            try:
+                c = _run_cluster(True, seed=4, n_servers=4, writes=20)
+            finally:
+                set_sync_delta_enabled(True)
+            pushes = sum(s.controller.delta_pushes
+                         for s in c.servers.values())
+            return c.fabric.bytes_sent, c.fabric.payload_bytes_sent, pushes
+
+        size_on, payload_on, deltas_on = measure(True)
+        size_off, payload_off, deltas_off = measure(False)
+        assert deltas_on > 0 and deltas_off == 0
+        # Nominal (timing-bearing) traffic is identical; effective
+        # payload traffic shrinks by the omitted entries.
+        assert size_on == size_off
+        assert payload_on < payload_off
+        assert payload_off == size_off  # no encoding => payload == wire
+
+    def test_hash_skip_still_functions_with_delta(self):
+        cluster = _sync_only_cluster(True, until=8.0)
+        skips = sum(s.controller.push_hash_skips
+                    for s in cluster.servers.values())
+        assert skips > 0
+
+
 class TestAllTogglesEquivalence:
-    """The acceptance bar: one end-to-end run with every new cache
-    enabled vs every cache disabled — bit-identical event trace."""
+    """The acceptance bar: one end-to-end run with every fast path
+    enabled vs every fast path disabled — bit-identical event trace."""
 
     TOGGLES = [
         (policymod.set_share_cache_enabled, policymod.share_cache_enabled),
         (set_sync_hash_skip_enabled, sync_hash_skip_enabled),
         (stripemod.set_stripe_memo_enabled, stripemod.stripe_memo_enabled),
         (fsmod.set_path_cache_enabled, fsmod.path_cache_enabled),
+        (schedmod.set_sampled_dequeue_enabled,
+         schedmod.sampled_dequeue_enabled),
+        (set_sync_delta_enabled, sync_delta_enabled),
+        (lockmod.set_range_wake_enabled, lockmod.range_wake_enabled),
+        (giftmod.set_gift_quiescence_enabled,
+         giftmod.gift_quiescence_enabled),
     ]
 
     def test_caches_on_equals_caches_off(self):

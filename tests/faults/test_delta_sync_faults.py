@@ -1,0 +1,174 @@
+"""Delta-encoded λ-sync under faults (ISSUE 5 satellite).
+
+The encoding's soundness argument — omitted entries are provably no-ops
+at the receiver — is anchored to the snapshot the receiver reported in
+the *same* round, so there are no cross-round version vectors to go
+stale. The two ways state can still discontinue are covered here:
+
+- **server crash/restart**: the restarted controller's basis token no
+  longer matches any in-flight delta, and its next pull reply demands a
+  full-table push (``full_resyncs``);
+- **partition heal**: a healed peer's staleness is re-measured from its
+  own gather reply each round, so deltas stay sound with no special
+  handling (``basis_mismatches == 0``) and tables reconverge exactly as
+  they do without the encoding.
+
+Plus the acceptance-criteria trace check: the availability scenario is
+bit-identical with the encoding on vs. off.
+"""
+
+import pytest
+
+from repro.bb import controller as ctlmod
+from repro.faults import FaultInjector, FaultPlan, LinkFault, ServerCrash
+from repro.fs.hashing import ConsistentHashRing
+from repro.units import MB
+
+
+@pytest.fixture(autouse=True)
+def _restore_delta_toggle():
+    yield
+    ctlmod.set_sync_delta_enabled(True)
+
+
+def _one_write(cluster, client, path):
+    def app():
+        yield from client.create(path)
+        yield from client.write(path, 0, MB)
+
+    cluster.engine.process(app())
+
+
+def _table_view(server):
+    return sorted((e["info"].job_id, e["last_heartbeat"], e["active"])
+                  for e in server.monitor.table.snapshot())
+
+
+class TestCrashRestartResync:
+    def _run(self, make_cluster, job, delta):
+        ctlmod.set_sync_delta_enabled(delta)
+        cluster = make_cluster(n_servers=3, sync_interval=0.1,
+                               sync_timeout=0.1)
+        plan = FaultPlan([ServerCrash("bb1", at=0.8, restart_at=1.2)])
+        FaultInjector(cluster, plan).arm()
+        for i in range(3):
+            client = cluster.add_client(job(i + 1, user=f"u{i}"),
+                                        client_id=f"c{i}")
+            _one_write(cluster, client, f"/fs/d/f{i}")
+        cluster.run(until=3.0)
+        return cluster
+
+    def test_restart_forces_full_table_resync(self, make_cluster, job):
+        cluster = self._run(make_cluster, job, delta=True)
+        ctl = cluster.servers["bb1"].controller
+        # The crash bumped the basis and flagged the resync; a full push
+        # answered it — the restarted server never applied a delta
+        # computed against its pre-crash state.
+        assert ctl.full_resyncs >= 1
+        assert not ctl._needs_full_sync
+        # And the resync delivered: every server converges on the same
+        # job-status view, including the one that lost its table.
+        views = [_table_view(s) for s in cluster.servers.values()]
+        active = [sorted(j for j, _hb, a in v if a) for v in views]
+        assert all(x == active[0] for x in active), active
+        assert active[0]  # jobs actually registered
+
+    def test_crash_restart_state_identical_to_full_pushes(self, make_cluster,
+                                                          job):
+        with_delta = self._run(make_cluster, job, delta=True)
+        without = self._run(make_cluster, job, delta=False)
+        for name in with_delta.servers:
+            assert (_table_view(with_delta.servers[name])
+                    == _table_view(without.servers[name])), name
+        assert (with_delta.total_served_bytes()
+                == without.total_served_bytes())
+
+
+class TestPartitionHeal:
+    def _run(self, make_cluster, job, delta):
+        ctlmod.set_sync_delta_enabled(delta)
+        cluster = make_cluster(n_servers=2, sync_interval=0.1,
+                               sync_timeout=0.1)
+        ring = ConsistentHashRing(["bb0", "bb1"])
+        pinned = {}
+        i = 0
+        while len(pinned) < 2:
+            path = f"/fs/d/pin-{i}"
+            pinned.setdefault(ring.lookup(path), path)
+            i += 1
+        plan = FaultPlan([LinkFault(start=0.0, stop=1.0, a="bb0", b="bb1",
+                                    drop_prob=1.0)])
+        FaultInjector(cluster, plan).arm()
+        c1 = cluster.add_client(job(1, user="alice"), client_id="c1")
+        c2 = cluster.add_client(job(2, user="bob"), client_id="c2")
+        _one_write(cluster, c1, pinned["bb0"])
+        _one_write(cluster, c2, pinned["bb1"])
+        cluster.run(until=2.5)
+        return cluster
+
+    def test_heal_reconverges_without_stale_deltas(self, make_cluster, job):
+        cluster = self._run(make_cluster, job, delta=True)
+        bb0, bb1 = cluster.servers["bb0"], cluster.servers["bb1"]
+        # Both sides saw degraded rounds during the partition...
+        assert cluster.fault_stats.degraded_sync_rounds > 0
+        # ...and full tables reconverged after the heal.
+        assert bb0.monitor.table.is_active(2)
+        assert bb1.monitor.table.is_active(1)
+        assert _table_view(bb0) == _table_view(bb1)
+        # No controller restarted, so no delta was ever unsound: the
+        # staleness a partition causes is re-measured from each round's
+        # own gather, never carried across rounds.
+        for server in cluster.servers.values():
+            assert server.controller.basis_mismatches == 0
+
+    def test_heal_state_identical_to_full_pushes(self, make_cluster, job):
+        with_delta = self._run(make_cluster, job, delta=True)
+        without = self._run(make_cluster, job, delta=False)
+        for name in with_delta.servers:
+            assert (_table_view(with_delta.servers[name])
+                    == _table_view(without.servers[name])), name
+
+
+class TestAvailabilityScenarioEquivalence:
+    def test_availability_trace_identical_with_delta_on_off(self):
+        from repro.harness.experiments import availability_outage
+
+        def run(delta):
+            ctlmod.set_sync_delta_enabled(delta)
+            out = availability_outage(n_jobs=3, n_servers=2, duration=4.0,
+                                      crash_at=1.5, restart_at=2.5, seed=0)
+            s = out.result.cluster.sampler
+            return (list(zip(s._times, s._jobs, s._bytes, s._ops)),
+                    out.recovery_time, out.jain_before, out.jain_during,
+                    out.jain_after)
+
+        assert run(True) == run(False)
+
+    def test_availability_trace_identical_all_scale_toggles(self):
+        """All four ISSUE-5 kernels at once, under the fault scenario."""
+        from repro.core import scheduler as schedmod
+        from repro.core.baselines import gift as giftmod
+        from repro.fs import locking as lockmod
+        from repro.harness.experiments import availability_outage
+
+        toggles = [schedmod.set_sampled_dequeue_enabled,
+                   ctlmod.set_sync_delta_enabled,
+                   lockmod.set_range_wake_enabled,
+                   giftmod.set_gift_quiescence_enabled]
+
+        def run(flag):
+            for setter in toggles:
+                setter(flag)
+            try:
+                out = availability_outage(n_jobs=3, n_servers=2,
+                                          duration=4.0, crash_at=1.5,
+                                          restart_at=2.5, seed=0)
+                s = out.result.cluster.sampler
+                return (list(zip(s._times, s._jobs, s._bytes, s._ops)),
+                        out.recovery_time, out.jain_before,
+                        out.jain_during, out.jain_after)
+            finally:
+                for setter in toggles:
+                    setter(True)
+
+        assert run(True) == run(False)

@@ -303,6 +303,55 @@ class TestFloatAccumulation:
         assert not hits(src, "PERF102")
 
 
+# ----------------------------------------------------------------- PERF103
+class TestListHeadShift:
+    HOT = "src/repro/core/scheduler.py"
+
+    def test_pop_zero_flagged(self):
+        src = (
+            "def drain(queue):\n"
+            "    while queue:\n"
+            "        handle(queue.pop(0))\n"
+        )
+        findings = hits(src, "PERF103", path=self.HOT)
+        assert findings and findings[0].severity.value == "advisory"
+
+    def test_insert_zero_flagged(self):
+        src = "def requeue(queue, item):\n    queue.insert(0, item)\n"
+        assert hits(src, "PERF103", path=self.HOT)
+
+    def test_cold_module_clean(self):
+        src = "def drain(queue):\n    return queue.pop(0)\n"
+        assert not hits(src, "PERF103",
+                        path="src/repro/harness/report.py")
+
+    def test_tail_pop_and_append_clean(self):
+        src = (
+            "def drain(queue, item):\n"
+            "    queue.append(item)\n"
+            "    queue.pop()\n"
+            "    queue.pop(-1)\n"
+        )
+        assert not hits(src, "PERF103", path=self.HOT)
+
+    def test_nonzero_index_clean(self):
+        src = "def mid(queue):\n    return queue.pop(2)\n"
+        assert not hits(src, "PERF103", path=self.HOT)
+
+    def test_dict_pop_with_default_clean(self):
+        src = "def take(mapping):\n    return mapping.pop(0, None)\n"
+        assert not hits(src, "PERF103", path=self.HOT)
+
+    def test_inline_waiver_suppresses(self):
+        src = (
+            "def take(codes):\n"
+            "    # lint: disable=PERF103 -- codes is a 2-entry protocol "
+            "list\n"
+            "    return codes.pop(0)\n"
+        )
+        assert not hits(src, "PERF103", path=self.HOT)
+
+
 # ---------------------------------------------------------------- framework
 class TestFramework:
     def test_syntax_error_reported(self):

@@ -163,7 +163,8 @@ class TestBinnedMode:
     def test_fractional_window_apportions_bins(self):
         binned = ThroughputSampler(bin_interval=1.0)
         binned.record(0.5, 1, 100, "write")
-        # Half of the [0, 1) bin overlaps [0.5, 1.5): 50 B over 1 s.
+        binned.record(2.5, 1, 80, "write")  # recording continues past bin 0
+        # Half of the (full) [0, 1) bin overlaps [0.5, 1.5): 50 B over 1 s.
         assert binned.window_throughput(0.5, 1.5) == pytest.approx(50.0)
 
     def test_memory_is_bounded_by_duration_not_records(self):
@@ -218,3 +219,73 @@ class TestBinnedPartialFinalBin:
         per_job = s.per_job_series(interval=1.0)
         assert sum(per_job[1][1]) * 1.0 == pytest.approx(50.0)
         assert sum(per_job[2][1]) * 1.0 == pytest.approx(70.0)
+
+
+class TestBinnedPartialFinalBinWindow:
+    """window_throughput() in binned mode (ISSUE 5 satellite): the final
+    stored bin only spans up to the last completion time. Spreading its
+    bytes across the full ``bin_interval`` width made any window that
+    covers the whole recording under-count the tail — the same truncation
+    bug series() had, on the windowed-query path."""
+
+    def test_full_recording_window_matches_raw(self):
+        raw = ThroughputSampler()
+        binned = ThroughputSampler(bin_interval=10.0)
+        for rec in [(2.0, 1, 100, "write"), (12.0, 1, 200, "write"),
+                    (25.0, 2, 300, "write")]:   # sim ends mid-bin [20, 30)
+            raw.record(*rec)
+            binned.record(*rec)
+        # A window ending at the last completion must see *all* bytes;
+        # the old full-width apportioning returned 600 - 300/2 = 450.
+        assert binned.window_throughput(0.0, 25.0) == pytest.approx(
+            raw.window_throughput(0.0, 25.0) + 300 / 25.0)
+        # (Raw mode's half-open [t0, t1) excludes the record at exactly
+        # t=25; the binned model spreads it across (20, 25] so the same
+        # window captures it — total bytes over the recorded span.)
+        assert binned.window_throughput(0.0, 25.0) * 25.0 == pytest.approx(
+            binned.total_bytes())
+
+    def test_partial_final_bin_is_not_diluted(self):
+        s = ThroughputSampler(bin_interval=10.0)
+        s.record(22.0, 1, 300, "write")
+        s.record(24.0, 1, 100, "write")
+        # All 400 B lie in [20, 24]; a window covering that span gets
+        # every byte (old behaviour: 400 * 4/10 = 160 B).
+        assert s.window_throughput(20.0, 24.0) * 4.0 == pytest.approx(400.0)
+        # Fractional overlap *within* the truncated span still scales:
+        # [20, 22) is half of the 4-second effective bin.
+        assert s.window_throughput(20.0, 22.0) * 2.0 == pytest.approx(200.0)
+        # Past the last completion there is nothing to apportion.
+        assert s.window_throughput(24.0, 30.0) == 0.0
+
+    def test_zero_width_final_bin_is_a_point_mass(self):
+        s = ThroughputSampler(bin_interval=10.0)
+        s.record(5.0, 1, 100, "write")
+        s.record(20.0, 1, 300, "write")   # exactly on the [20, 30) edge
+        # The final bin's span collapses to the instant t=20: windows
+        # covering it get the whole mass, windows stopping at it get none.
+        assert s.window_throughput(0.0, 20.0) * 20.0 == pytest.approx(100.0)
+        assert s.window_throughput(0.0, 21.0) * 21.0 == pytest.approx(400.0)
+        assert s.window_throughput(20.0, 25.0) * 5.0 == pytest.approx(300.0)
+
+    def test_per_job_windows_share_the_clamp(self):
+        s = ThroughputSampler(bin_interval=10.0)
+        s.record(2.0, 1, 100, "write")
+        s.record(25.0, 2, 300, "write")
+        # Job 2's bytes all sit in [20, 25]; job 1's bin [0, 10) is a
+        # full-width bin because recording continued past it.
+        assert s.window_throughput(0.0, 25.0, job_id=2) * 25.0 \
+            == pytest.approx(300.0)
+        assert s.window_throughput(0.0, 5.0, job_id=1) * 5.0 \
+            == pytest.approx(50.0)
+
+    def test_dense_scan_and_sparse_iterate_agree(self):
+        # Both _binned_window branches (range scan for narrow windows,
+        # dict iteration for wide ones) must apply the same clamp.
+        s = ThroughputSampler(bin_interval=1.0)
+        for i in range(20):
+            s.record(i * 0.25, 1, 10, "write")   # last bin [4, 5) partial
+        wide = s.window_throughput(0.0, 100.0)   # range >> len(bins)
+        narrow = s.window_throughput(0.0, 5.0)
+        assert wide * 100.0 == pytest.approx(narrow * 5.0)
+        assert narrow * 5.0 == pytest.approx(s.total_bytes())
