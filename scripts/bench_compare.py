@@ -13,14 +13,25 @@ legitimately grew (a PR adding kernels compared against an older
 committed baseline); new kernels are then listed as ``new`` in the
 table and do not gate.
 
+When both revisions also have a ``SWEEP_<rev>.json`` scale-sweep
+artifact next to their BENCH file (or in the repo root), a second,
+informational per-ladder table compares the fast-path speedups and
+delta savings across the population ladder. Sweep rows never gate:
+speedup ratios are far noisier than single-kernel rates.
+``--sweep-workspace DIR`` sources the *current* sweep rows straight
+from a content-addressed experiment workspace (see
+``repro.harness.sweep``) instead of a SWEEP file — useful right after
+``python -m repro bench --scale-sweep`` populated the store.
+
 Usage::
 
     python scripts/bench_compare.py CURRENT.json [BASELINE.json] \
-        [--threshold 0.15] [--allow-new] [--md PATH]
+        [--threshold 0.15] [--allow-new] [--md PATH] \
+        [--sweep-workspace DIR]
 
 With no explicit baseline, the newest committed ``BENCH_*.json`` (by
 its ``generated_at`` stamp) in the repository root is used. ``--md``
-additionally writes the table to *PATH* (e.g. for a CI job summary).
+additionally writes the tables to *PATH* (e.g. for a CI job summary).
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ import glob
 import json
 import os
 import sys
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -38,6 +49,58 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 def load(path: str) -> dict:
     with open(path) as fh:
         return json.load(fh)
+
+
+def find_sweep(bench_doc: dict, bench_path: str) -> Optional[str]:
+    """Path of the ``SWEEP_<rev>.json`` matching *bench_doc*, if any.
+
+    Looks next to the bench file first, then in the repo root.
+    """
+    rev = bench_doc.get("rev")
+    if not rev:
+        return None
+    for base in (os.path.dirname(os.path.abspath(bench_path)), REPO_ROOT):
+        candidate = os.path.join(base, f"SWEEP_{rev}.json")
+        if os.path.exists(candidate):
+            return candidate
+    return None
+
+
+def sweep_from_workspace(workspace_dir: str) -> dict:
+    """A SWEEP-shaped doc assembled from a content-addressed workspace."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.harness.sweep import sweep_doc_from_workspace
+    from repro.harness.workspace import Workspace
+    return sweep_doc_from_workspace(Workspace(workspace_dir))
+
+
+def _sweep_cell(row: Optional[dict]) -> str:
+    if row is None:
+        return "—"
+    if "speedup" in row:
+        return f"{row['speedup']:.2f}x"
+    if "delta_saved_frac" in row:
+        return f"{row['delta_saved_frac']:.1%} saved"
+    return "?"
+
+
+def sweep_compare(current: dict, baseline: dict) -> List[str]:
+    """Markdown rows comparing two SWEEP docs per ladder point.
+
+    Informational only — fast-path speedups are host-noise-sensitive,
+    so sweep drift never fails the comparison.
+    """
+    rows = ["| ladder | n | baseline | current |",
+            "|---|---:|---:|---:|"]
+    cur_sweep = current.get("sweep", {})
+    base_sweep = baseline.get("sweep", {})
+    for name in sorted(set(cur_sweep) | set(base_sweep)):
+        cur = {r.get("population"): r for r in cur_sweep.get(name, [])}
+        base = {r.get("population"): r for r in base_sweep.get(name, [])}
+        for n in sorted(set(cur) | set(base)):
+            rows.append(f"| {name} | {n} | {_sweep_cell(base.get(n))} | "
+                        f"{_sweep_cell(cur.get(n))} |")
+    return rows
 
 
 def newest_committed_baseline(exclude: str) -> str:
@@ -105,6 +168,10 @@ def main(argv=None) -> int:
                              "failing the comparison")
     parser.add_argument("--md", default=None,
                         help="also write the markdown table to this path")
+    parser.add_argument("--sweep-workspace", default=None,
+                        help="read the current scale-sweep rows from this "
+                             "content-addressed workspace dir instead of a "
+                             "SWEEP_<rev>.json file")
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -120,12 +187,32 @@ def main(argv=None) -> int:
     print(f"threshold: {args.threshold:.0%} regression\n")
     print(table)
 
+    # Informational per-ladder scale-sweep comparison (never gates).
+    if args.sweep_workspace:
+        cur_sweep = sweep_from_workspace(args.sweep_workspace)
+        cur_sweep_src = f"workspace {args.sweep_workspace}"
+    else:
+        cur_sweep_path = find_sweep(current, args.current)
+        cur_sweep = load(cur_sweep_path) if cur_sweep_path else None
+        cur_sweep_src = cur_sweep_path or ""
+    base_sweep_path = find_sweep(baseline, baseline_path)
+    base_sweep = load(base_sweep_path) if base_sweep_path else None
+    sweep_table = None
+    if cur_sweep is not None and cur_sweep.get("sweep") and \
+            base_sweep is not None:
+        sweep_table = "\n".join(sweep_compare(cur_sweep, base_sweep))
+        print(f"\nscale sweep: {cur_sweep_src} vs {base_sweep_path}\n")
+        print(sweep_table)
+
     if args.md:
         with open(args.md, "w") as fh:
             fh.write(f"**bench:** `{current.get('rev')}` vs "
                      f"`{baseline.get('rev')}` "
                      f"(threshold {args.threshold:.0%})\n\n")
             fh.write(table + "\n")
+            if sweep_table is not None:
+                fh.write("\n**scale sweep** (informational)\n\n")
+                fh.write(sweep_table + "\n")
 
     if failures:
         print(f"\nFAIL: {len(failures)} kernel(s) regressed beyond "

@@ -50,9 +50,7 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import platform
-import subprocess
 import sys
 import time
 from typing import Callable, Dict, Optional
@@ -68,12 +66,14 @@ from .core.baselines import gift as _giftmod
 from .fs import locking as _lockmod
 from .fs.filesystem import ThemisFS
 from .fs.locking import RangeLockTable
+from .harness.workspace import code_rev as git_rev
 from .sim.engine import Engine
 from .sim.rng import RngRegistry
 from .units import GB, KiB, MB, MiB
 
 __all__ = ["run_all", "run_and_write", "run_scale_sweep",
-           "run_and_write_sweep", "git_rev", "main"]
+           "run_and_write_sweep", "git_rev", "main",
+           "bench_scale_cell", "bench_lambda_delta_cell"]
 
 
 class _Req:
@@ -400,23 +400,8 @@ def _bench_system(contended: bool, n_writes: int) -> Dict[str, float]:
 
 
 # ------------------------------------------------------------------ driver
-def git_rev() -> str:
-    """Short git revision of this checkout, ``-dirty``-suffixed when the
-    tree has uncommitted tracked changes; ``"unknown"`` outside git."""
-    try:
-        rev = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=os.path.dirname(os.path.abspath(__file__)),
-            capture_output=True, text=True, check=True).stdout.strip()
-    except Exception:
-        return "unknown"
-    dirty = subprocess.run(
-        ["git", "status", "--porcelain", "--untracked-files=no"],
-        cwd=os.path.dirname(os.path.abspath(__file__)),
-        capture_output=True, text=True).stdout.strip()
-    return f"{rev}-dirty" if dirty else rev
-
-
+# (git_rev is repro.harness.workspace.code_rev, re-exported: bench
+# artifacts and workspace store keys must agree on the revision string.)
 def run_all(quick: bool) -> Dict[str, Dict[str, float]]:
     """Run every kernel; returns ``{kernel: timing dict}``."""
     # Best-of-N is the reported rate; full mode uses enough rounds that
@@ -477,6 +462,15 @@ _SCALE_SWEEP = {
         _lockmod.set_range_wake_enabled,
         (64, 256, 1024),
     ),
+    # Same fanout workload, but toggling only the bucket index that
+    # accelerates conflict-candidate selection *within* range-indexed
+    # wakeups (range wake itself stays on for both sides).
+    "lock_waiter_index": (
+        lambda n: (lambda: bench_contended_lock_fanout(n_waiters=n,
+                                                       rounds=2000)),
+        _lockmod.set_waiter_index_enabled,
+        (64, 256, 1024),
+    ),
     "gift_quiescent_epochs": (
         lambda n: (lambda: bench_gift_quiescent_epochs(n_jobs=n,
                                                        epochs=1000)),
@@ -486,52 +480,98 @@ _SCALE_SWEEP = {
 }
 
 
-def run_scale_sweep(quick: bool = False) -> Dict[str, list]:
+def bench_scale_cell(config: Dict) -> Dict:
+    """One (kernel, population) cell of the scale sweep: the kernel's
+    ops/s with its fast path toggled on and off (sweep point kind
+    ``bench_scale``). Config keys: ``kernel``, ``population``, optional
+    ``rounds`` (5)."""
+    kernel = str(config["kernel"])
+    try:
+        factory, toggle, _ladder = _SCALE_SWEEP[kernel]
+    except KeyError:
+        from .errors import ReproError
+        raise ReproError(f"unknown scale kernel {kernel!r}; known: "
+                         f"{', '.join(sorted(_SCALE_SWEEP))}") from None
+    fn = factory(int(config["population"]))
+    rounds = int(config.get("rounds", 5))
+    try:
+        toggle(True)
+        fast = _time_kernel(fn, rounds)["ops_per_s"]
+        toggle(False)
+        exact = _time_kernel(fn, rounds)["ops_per_s"]
+    finally:
+        toggle(True)
+    return {"population": int(config["population"]),
+            "fast_ops_per_s": fast,
+            "exact_ops_per_s": exact,
+            "speedup": round(fast / exact, 2) if exact else 0.0}
+
+
+def bench_lambda_delta_cell(config: Dict) -> Dict:
+    """One cluster-size point of the λ-sync delta sweep (sweep point
+    kind ``bench_lambda_delta``). The reported wire bytes are
+    sim-deterministic, unlike the host-timing rates of
+    :func:`bench_scale_cell`. Config keys: ``n_servers``, optional
+    ``epochs`` (12)."""
+    r = bench_lambda_sync_delta(n_servers=int(config["n_servers"]),
+                                epochs=int(config.get("epochs", 12)))
+    return {"population": int(config["n_servers"]),
+            "nominal_bytes": int(r["nominal_bytes"]),
+            "payload_bytes": int(r["payload_bytes"]),
+            "delta_saved_frac": float(r["delta_saved_frac"])}
+
+
+def run_scale_sweep(quick: bool = False, workspace=None, jobs: int = 1,
+                    rerun: bool = False):
     """Each scale kernel across growing populations, fast path on/off.
 
     The op count per kernel is population-independent, so ops/s across
     the ladder directly exposes how per-op cost grows with population:
     a sublinear fast path holds its rate roughly flat while the exact
     path's rate decays ~linearly.
+
+    Every (kernel, population) cell runs as an independent workspace
+    point: with a ``workspace`` attached, cells already stored at this
+    code revision are cache hits (``rerun`` invalidates them first) and
+    ``jobs > 1`` fans cold cells out over processes. Returns
+    ``(sweep, run)``: the ``{kernel: rows}`` table plus the runner's
+    :class:`~repro.harness.sweep.SweepRun` (hits/misses/speedup).
     """
+    from .harness.sweep import ParallelRunner
     rounds = 2 if quick else 5
-    sweep: Dict[str, list] = {}
-    for name, (factory, toggle, ladder) in _SCALE_SWEEP.items():
+    points = []
+    for name, (_factory, _toggle, ladder) in _SCALE_SWEEP.items():
         if quick:
             ladder = ladder[:2]
-        rows = []
         for population in ladder:
-            fn = factory(population)
-            try:
-                toggle(True)
-                fast = _time_kernel(fn, rounds)["ops_per_s"]
-                toggle(False)
-                exact = _time_kernel(fn, rounds)["ops_per_s"]
-            finally:
-                toggle(True)
-            rows.append({"population": population,
-                         "fast_ops_per_s": fast,
-                         "exact_ops_per_s": exact,
-                         "speedup": round(fast / exact, 2)})
-        sweep[name] = rows
+            points.append(("bench_scale",
+                           {"kernel": name, "population": int(population),
+                            "rounds": rounds}))
     # λ-sync delta: the fast path changes wire accounting, not host
     # time, so its sweep reports payload savings across cluster sizes.
-    rows = []
     for n_servers in ((4, 8) if quick else (4, 8, 16)):
-        r = bench_lambda_sync_delta(n_servers=n_servers, epochs=12)
-        rows.append({"population": n_servers,
-                     "nominal_bytes": r["nominal_bytes"],
-                     "payload_bytes": r["payload_bytes"],
-                     "delta_saved_frac": r["delta_saved_frac"]})
-    sweep["lambda_sync_delta"] = rows
-    return sweep
+        points.append(("bench_lambda_delta",
+                       {"n_servers": n_servers, "epochs": 12}))
+    run = ParallelRunner(workspace=workspace, jobs=jobs).run_points(
+        points, rerun=rerun)
+    sweep: Dict[str, list] = {}
+    for outcome in run.points:
+        if outcome.kind == "bench_scale":
+            sweep.setdefault(outcome.config["kernel"],
+                             []).append(dict(outcome.result))
+        else:
+            sweep.setdefault("lambda_sync_delta",
+                             []).append(dict(outcome.result))
+    return sweep, run
 
 
-def run_and_write_sweep(quick: bool = False,
-                        out: Optional[str] = None) -> int:
+def run_and_write_sweep(quick: bool = False, out: Optional[str] = None,
+                        workspace=None, jobs: int = 1,
+                        rerun: bool = False) -> int:
     """Run the scale sweep, print the table, write ``SWEEP_<rev>.json``."""
     rev = git_rev()
-    sweep = run_scale_sweep(quick)
+    sweep, run = run_scale_sweep(quick, workspace=workspace, jobs=jobs,
+                                 rerun=rerun)
     payload = {
         "rev": rev,
         "quick": quick,
@@ -557,6 +597,8 @@ def run_and_write_sweep(quick: bool = False,
                       f"nominal {row['nominal_bytes']:>12,} B  "
                       f"payload {row['payload_bytes']:>12,} B  "
                       f"saved {row['delta_saved_frac']:.1%}")
+    print()
+    print(run.summary())
     print(f"\nwrote {out}")
     return 0
 
@@ -594,9 +636,21 @@ def main(argv=None) -> int:
     parser.add_argument("--scale-sweep", action="store_true",
                         help="sweep the scale-regime kernels across "
                              "populations with fast paths on/off")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel workers for cold sweep cells")
+    parser.add_argument("--workspace", default=".workspace",
+                        help="content-addressed result store directory")
+    parser.add_argument("--no-workspace", action="store_true",
+                        help="compute every sweep cell, bypassing the store")
+    parser.add_argument("--rerun", action="store_true",
+                        help="invalidate stored sweep cells before running")
     args = parser.parse_args(argv)
     if args.scale_sweep:
-        return run_and_write_sweep(quick=args.quick, out=args.out)
+        from .harness.workspace import Workspace
+        ws = None if args.no_workspace else Workspace(args.workspace)
+        return run_and_write_sweep(quick=args.quick, out=args.out,
+                                   workspace=ws, jobs=args.jobs,
+                                   rerun=args.rerun)
     return run_and_write(quick=args.quick, out=args.out)
 
 

@@ -21,6 +21,12 @@ Commands
 ``bench``
     Run the hot-path benchmark kernels and write ``BENCH_<rev>.json``
     (see :mod:`repro.bench`; compare with ``scripts/bench_compare.py``).
+``sweep``
+    Expand a declarative sweep (JSON spec file or ``--grid`` name) and
+    run it through the content-addressed workspace: unchanged points
+    are cache hits, cold points fan out over ``--jobs`` processes, and
+    the summary reports hits/misses/speedup plus the results digest
+    (see :mod:`repro.harness.sweep`).
 ``lint``
     Static determinism & sim-safety analysis over the tree (see
     :mod:`repro.lint` and DESIGN.md §9); exits non-zero on new
@@ -31,6 +37,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -39,16 +46,27 @@ from .errors import ReproError
 from .harness import experiments as exps
 from .harness.config import JobRun
 from .harness.experiments import run_sharing_experiment
+from .harness.sweep import BUILTIN_GRIDS
 from .units import fmt_bw
 from .workloads import JobSpec, WriteReadCycle
 from .units import MB
 
 __all__ = ["main", "FIGURES"]
 
+
+def _figure_workspace(args):
+    """The figure ladders' optional workspace (``--workspace DIR``)."""
+    if getattr(args, "workspace", None):
+        from .harness.workspace import Workspace
+        return Workspace(args.workspace)
+    return None
+
+
 #: figure name -> (callable, kwargs builder from args)
 FIGURES = {
     "fig01": lambda a: exps.fig01_interference(seed=a.seed),
-    "fig07": lambda a: exps.fig07_scaling(),
+    "fig07": lambda a: exps.fig07_scaling(
+        workspace=_figure_workspace(a), jobs=a.jobs),
     "fig08a": lambda a: exps.fig08_primitive("size-fair", scale=a.scale,
                                              seed=a.seed),
     "fig08b": lambda a: exps.fig08_primitive("job-fair", scale=a.scale,
@@ -58,7 +76,8 @@ FIGURES = {
     "fig10": lambda a: exps.fig10_group_user_size(scale=a.scale, seed=a.seed),
     "fig12": lambda a: exps.fig12_baselines(scale=a.scale, seed=a.seed),
     "fig13": lambda a: exps.fig13_applications(seed=a.seed),
-    "fig14": lambda a: exps.fig14_lambda(seed=a.seed),
+    "fig14": lambda a: exps.fig14_lambda(
+        seed=a.seed, workspace=_figure_workspace(a), jobs=a.jobs),
     "datawarp": lambda a: exps.related_datawarp(seed=a.seed),
 }
 
@@ -84,6 +103,11 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--scale", type=float, default=0.1,
                      help="timeline scale vs the paper's 60 s (default 0.1)")
     fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--jobs", type=int, default=1,
+                     help="parallel workers for point-structured figures "
+                          "(fig07, fig14)")
+    fig.add_argument("--workspace", default=None,
+                     help="cache fig07/fig14 cells in this workspace dir")
 
     share = sub.add_parser("sharing", help="ad-hoc two-phase sharing run")
     share.add_argument("--policy", default="size-fair",
@@ -117,6 +141,35 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--scale-sweep", action="store_true",
                        help="sweep scale-regime kernels across populations "
                             "with fast paths on/off (writes SWEEP_<rev>.json)")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="parallel workers for cold --scale-sweep cells")
+    bench.add_argument("--workspace", default=".workspace",
+                       help="content-addressed store for --scale-sweep "
+                            "cells (default .workspace)")
+    bench.add_argument("--no-workspace", action="store_true",
+                       help="compute every sweep cell, bypassing the store")
+    bench.add_argument("--rerun", action="store_true",
+                       help="invalidate stored sweep cells before running")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a declarative sweep through the "
+                      "content-addressed workspace")
+    sweep.add_argument("spec", nargs="?", default=None,
+                       help="JSON sweep spec file (default: --grid)")
+    sweep.add_argument("--grid", default="quick",
+                       choices=sorted(BUILTIN_GRIDS),
+                       help="built-in grid to run when no spec file is given")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="parallel workers for cold points (default 1)")
+    sweep.add_argument("--workspace", default=".workspace",
+                       help="content-addressed store directory")
+    sweep.add_argument("--no-workspace", action="store_true",
+                       help="compute every point, bypassing the store")
+    sweep.add_argument("--rerun", action="store_true",
+                       help="invalidate this sweep's stored points first")
+    sweep.add_argument("--json", default=None, dest="json_out",
+                       help="also write the run summary (hits/misses/"
+                            "digest) to this path")
     return parser
 
 
@@ -183,6 +236,27 @@ def _cmd_sharing(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from .harness.sweep import ParallelRunner, load_spec
+    from .harness.workspace import Workspace
+    if args.spec:
+        spec = load_spec(args.spec)
+    else:
+        spec = BUILTIN_GRIDS[args.grid]
+    workspace = None if args.no_workspace else Workspace(args.workspace)
+    runner = ParallelRunner(workspace=workspace, jobs=args.jobs)
+    run = runner.run_spec(spec, rerun=args.rerun)
+    print(f"sweep {spec.name} ({spec.kind}): "
+          f"{len(run.points)} points")
+    print(run.summary())
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(run.to_summary(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 def _cmd_faults(args) -> int:
     out = exps.availability_outage(
         n_jobs=args.jobs, n_servers=args.servers, duration=args.duration,
@@ -215,11 +289,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sharing(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "bench":
             # Imported lazily: the bench kernels pull in the whole stack.
             from .bench import run_and_write, run_and_write_sweep
             if args.scale_sweep:
-                return run_and_write_sweep(quick=args.quick, out=args.out)
+                from .harness.workspace import Workspace
+                ws = (None if args.no_workspace
+                      else Workspace(args.workspace))
+                return run_and_write_sweep(quick=args.quick, out=args.out,
+                                           workspace=ws, jobs=args.jobs,
+                                           rerun=args.rerun)
             return run_and_write(quick=args.quick, out=args.out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

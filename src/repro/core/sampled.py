@@ -30,13 +30,29 @@ falls back to the exact O(n) path for that single draw. Outside the
 margin, a standard error analysis bounds every boundary discrepancy —
 normalisation (one rounding per weight), the sequential cumsum (≤ n
 roundings), the Fenwick prefix (≤ log₂ n roundings), and incremental-
-update drift (bounded by :data:`REBUILD_EVERY` point updates between
-full O(n) tree rebuilds) — far below the margin, so both paths place
-``u`` in the same segment. The margin is deliberately enormous relative
-to the error bound (≈2⁻³⁰ vs ≲10⁻¹¹ for 4k jobs): a fallback costs one
-exact rebuild, so overshooting the margin only trades a ~2⁻²⁹
-per-draw fallback probability for a proof with three orders of
-magnitude of headroom.
+update drift — far below the margin, so both paths place ``u`` in the
+same segment. The margin is deliberately enormous relative to the
+error bound (≈2⁻³⁰ vs ≲10⁻¹¹ for 4k jobs): a fallback costs one exact
+rebuild, so overshooting the margin only trades a ~2⁻²⁹ per-draw
+fallback probability for a proof with three orders of magnitude of
+headroom.
+
+Error-tracked rebuilds
+----------------------
+Incremental point updates perturb O(log n) tree nodes each, and each
+perturbed addition rounds by at most one ulp of the node's value. The
+original design bounded the accumulated drift by counting updates and
+rebuilding every 1024 — a worst-case cadence that assumed every update
+touches maximally-heavy nodes. :class:`BacklogSampler` instead tracks
+the *exact* accumulated bound: each incremental update adds
+``path_mass * 2⁻⁵²`` to :attr:`~BacklogSampler._err_bound`, where
+``path_mass`` is the sum of absolute node values along the updated
+Fenwick path. A draw rebuilds the tree only once the tracked bound
+exceeds :data:`DRIFT_FRACTION` of the current total weight — still
+16x inside :data:`GUARD_MARGIN`, so the bit-identity guard is never
+weakened — which under typical churn stretches the rebuild cadence by
+one to two orders of magnitude. :data:`REBUILD_EVERY` survives as a
+far-out backstop against pathological weight distributions.
 """
 
 from __future__ import annotations
@@ -44,21 +60,31 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["BacklogSampler", "GUARD_MARGIN", "REBUILD_EVERY"]
+__all__ = ["BacklogSampler", "DRIFT_FRACTION", "GUARD_MARGIN",
+           "REBUILD_EVERY"]
 
 #: Relative half-width of the boundary guard band. A draw landing within
 #: ``GUARD_MARGIN * total_weight`` of a Fenwick segment boundary falls
 #: back to the exact path. Must exceed the worst-case relative boundary
-#: error ≈ ``(n + REBUILD_EVERY·log₂n + log₂n + 4) · 2⁻⁵²`` — about
-#: 3.6e-12 at n = 4096 — which 2⁻³⁰ ≈ 9.3e-10 clears by ~250x while
+#: error — ``(n + log₂n + 4) · 2⁻⁵²`` static terms (about 9.1e-13 at
+#: n = 4096) plus tracked incremental drift capped at
+#: :data:`DRIFT_FRACTION` — which 2⁻³⁰ ≈ 9.3e-10 clears by ~16x while
 #: still making fallbacks a ~2-in-a-billion event per draw.
 GUARD_MARGIN = 2.0 ** -30
 
-#: Incremental point updates tolerated before the tree is rebuilt from
-#: the weight array. Each update perturbs O(log n) nodes by ≤ 1 ulp of
-#: the running total, so drift stays bounded (and inside
-#: :data:`GUARD_MARGIN`) instead of accumulating without limit.
-REBUILD_EVERY = 1024
+#: Maximum tracked incremental-drift bound, as a fraction of the
+#: current total weight, tolerated before a draw rebuilds the tree from
+#: the weight array. 2⁻³⁴ keeps the drift term 16x inside
+#: :data:`GUARD_MARGIN` — the bit-identity guard loses no headroom —
+#: while letting light-node updates run far past the old fixed
+#: 1024-update cadence.
+DRIFT_FRACTION = 2.0 ** -34
+
+#: Backstop: incremental point updates tolerated before an unconditional
+#: rebuild, regardless of the tracked error bound. With error tracking
+#: doing the real work this only guards against pathological weight
+#: distributions (e.g. totals collapsing toward zero between draws).
+REBUILD_EVERY = 1 << 17
 
 
 class BacklogSampler:
@@ -73,7 +99,8 @@ class BacklogSampler:
     """
 
     __slots__ = ("_slots", "_slot_of", "_weights", "_tree", "_n",
-                 "_top_bit", "_updates", "rebuilds", "appends")
+                 "_top_bit", "_updates", "_err_bound", "rebuilds",
+                 "drift_rebuilds", "appends")
 
     def __init__(self):
         self._slots: List[int] = []          # slot index -> job id (sorted)
@@ -83,7 +110,9 @@ class BacklogSampler:
         self._n = 0
         self._top_bit = 0                    # highest power of two <= _n
         self._updates = 0                    # point updates since rebuild
+        self._err_bound = 0.0                # tracked drift bound (absolute)
         self.rebuilds = 0
+        self.drift_rebuilds = 0
         self.appends = 0
 
     def __len__(self) -> int:
@@ -112,6 +141,7 @@ class BacklogSampler:
         self._tree = tree
         self._top_bit = 1 << (n.bit_length() - 1) if n else 0
         self._updates = 0
+        self._err_bound = 0.0
         self.rebuilds += 1
 
     # ------------------------------------------------------------- updates
@@ -126,15 +156,21 @@ class BacklogSampler:
         self._weights[slot] = weight
         self._updates += 1
         if self._updates >= REBUILD_EVERY:
-            # Bound incremental float drift (see module docstring).
+            # Backstop against pathological drift (see module docstring).
             self._rebuild_tree()
             return
         delta = weight - old
         i = slot + 1
         tree, n = self._tree, self._n
+        mass = 0.0
         while i <= n:
             tree[i] += delta
+            # Each perturbed addition rounds by <= 1 ulp of the node, so
+            # the path's absolute-value mass bounds this update's drift.
+            # lint: disable=PERF102 -- upper bound; association irrelevant
+            mass += abs(tree[i])
             i += i & -i
+        self._err_bound += mass * 2.0 ** -52
 
     def _add_slot(self, job_id: int) -> int:
         if self._n and job_id <= self._slots[-1]:
@@ -189,6 +225,14 @@ class BacklogSampler:
         total = self.total_weight()
         if total <= 0.0:
             return None
+        if self._err_bound > DRIFT_FRACTION * total:
+            # Tracked drift ate into the guard's headroom: refresh the
+            # tree (and the total it implies) before placing the draw.
+            self._rebuild_tree()
+            self.drift_rebuilds += 1
+            total = self.total_weight()
+            if total <= 0.0:
+                return None
         t = u * total
         guard = GUARD_MARGIN * total
         pos = 0

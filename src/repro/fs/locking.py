@@ -37,6 +37,19 @@ wakeup is a pure no-op — and because losers keep their queue position,
 skipping the no-op leaves the acquisition order unchanged. The tables
 stay simulation-agnostic — a waiter is anything with a ``succeed()``
 method, which :class:`repro.sim.process.Event` provides.
+
+Within range-indexed mode, conflict-candidate *selection* has its own
+fast path (:func:`set_waiter_index_enabled`): each inode keeps a bucket
+index over its armed waiter ranges (power-of-two bucket width sized
+from the inode's first waited range; entries spanning too many buckets
+park in a wildcard list). A release collects candidates from only the
+buckets its freed ranges touch plus the wildcards, sorts them by queue
+sequence number, and runs the exact overlap check on that shortlist —
+identical wake set and FIFO order to scanning the whole queue, without
+the O(total waiters) scan on high-fan-in inodes. The index is
+maintained unconditionally (cheap dict ops); the toggle gates only
+whether ``_wake`` consults it, so A/B bench runs compare pure
+candidate-selection cost.
 """
 
 from __future__ import annotations
@@ -46,10 +59,25 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..errors import FSError
 
 __all__ = ["RangeLockTable", "MetadataLockTable",
-           "set_range_wake_enabled", "range_wake_enabled"]
+           "set_range_wake_enabled", "range_wake_enabled",
+           "set_waiter_index_enabled", "waiter_index_enabled"]
 
 #: Process-wide switch for range-indexed (conflict-only) wakeups.
 _RANGE_WAKE_ENABLED = True
+
+#: Process-wide switch for bucket-indexed candidate selection inside
+#: range-indexed wakeups (no effect while range wake is disabled).
+_WAITER_INDEX_ENABLED = True
+
+#: Minimum bucket width exponent: buckets never get finer than 2^10 B.
+_MIN_BUCKET_BITS = 10
+
+#: Bucket width used when an inode's first waiter is unranged.
+_DEFAULT_BUCKET_WIDTH = 1 << 12
+
+#: An entry spanning more than this many buckets indexes as a wildcard
+#: (always a candidate) instead of bloating per-bucket lists.
+_INDEX_SPAN_CAP = 8
 
 
 def set_range_wake_enabled(enabled: bool) -> None:
@@ -63,17 +91,105 @@ def range_wake_enabled() -> bool:
     return _RANGE_WAKE_ENABLED
 
 
+def set_waiter_index_enabled(enabled: bool) -> None:
+    """Enable/disable bucket-indexed wake candidate selection."""
+    global _WAITER_INDEX_ENABLED
+    _WAITER_INDEX_ENABLED = bool(enabled)
+
+
+def waiter_index_enabled() -> bool:
+    """Whether releases shortlist candidates via the bucket index."""
+    return _WAITER_INDEX_ENABLED
+
+
 class _WaitEntry:
     """One parked waiter: its conflict range and one-shot wake event."""
 
-    __slots__ = ("offset", "end", "event", "woken")
+    __slots__ = ("offset", "end", "event", "woken", "seq")
 
     def __init__(self, offset: Optional[int], end: Optional[int],
-                 event: object):
+                 event: object, seq: int):
         self.offset = offset   # None = conflicts with any release
         self.end = end
         self.event = event
         self.woken = False
+        self.seq = seq         # queue position (stable across re-arms)
+
+
+class _RangeIndex:
+    """Bucket index over one inode's armed waiter ranges.
+
+    Owners are placed into ``offset // width`` buckets (dicts used as
+    ordered sets — DET004-safe); unranged or too-wide entries go to the
+    wildcard list. Strictly an over-approximation: ``candidates`` may
+    return non-overlapping owners (the caller re-checks exactly), but
+    never misses an overlapping one — each ranged entry occupies every
+    bucket its byte range touches.
+    """
+
+    __slots__ = ("width", "buckets", "wildcards", "placed")
+
+    def __init__(self, width: int):
+        self.width = width
+        # bucket id -> {owner: None}, insertion-ordered.
+        self.buckets: Dict[int, Dict[object, None]] = {}
+        self.wildcards: Dict[object, None] = {}
+        # owner -> (lo_bucket, hi_bucket), or None for wildcard entries.
+        self.placed: Dict[object, Optional[Tuple[int, int]]] = {}
+
+    def place(self, owner: object, offset: Optional[int],
+              end: Optional[int]) -> None:
+        """(Re-)index *owner* under its current conflict range."""
+        self.remove(owner)
+        if offset is None or end is None:
+            self.placed[owner] = None
+            self.wildcards[owner] = None
+            return
+        lo = offset // self.width
+        hi = max(lo, (end - 1) // self.width)
+        if hi - lo + 1 > _INDEX_SPAN_CAP:
+            self.placed[owner] = None
+            self.wildcards[owner] = None
+            return
+        self.placed[owner] = (lo, hi)
+        for b in range(lo, hi + 1):
+            bucket = self.buckets.get(b)
+            if bucket is None:
+                bucket = self.buckets[b] = {}
+            bucket[owner] = None
+
+    def remove(self, owner: object) -> None:
+        """Drop *owner* from every bucket (no-op if absent)."""
+        if owner not in self.placed:
+            return
+        span = self.placed.pop(owner)
+        if span is None:
+            self.wildcards.pop(owner, None)
+            return
+        lo, hi = span
+        for b in range(lo, hi + 1):
+            bucket = self.buckets.get(b)
+            if bucket is not None:
+                bucket.pop(owner, None)
+                if not bucket:
+                    del self.buckets[b]
+
+    def candidates(self, ranges: List[Tuple[int, int]]
+                   ) -> Dict[object, None]:
+        """Owners possibly overlapping *ranges* (plus all wildcards),
+        deduplicated; the caller orders them by queue sequence."""
+        out: Dict[object, None] = {}
+        for owner in self.wildcards:
+            out[owner] = None
+        for lo, hi in ranges:
+            b0 = lo // self.width
+            b1 = max(b0, (hi - 1) // self.width)
+            for b in range(b0, b1 + 1):
+                bucket = self.buckets.get(b)
+                if bucket:
+                    for owner in bucket:
+                        out[owner] = None
+        return out
 
 
 class _WaiterMixin:
@@ -85,11 +201,28 @@ class _WaiterMixin:
     acquires the lock (``try_lock*`` success) or on the crash reset.
     """
 
-    __slots__ = ("_waiters",)
+    __slots__ = ("_waiters", "_index", "_next_seq")
 
     def __init__(self):
         # ino -> {owner key -> entry}; dicts preserve insertion order.
         self._waiters: Dict[int, Dict[object, _WaitEntry]] = {}
+        # ino -> bucket index over the same entries (kept in lock-step).
+        self._index: Dict[int, _RangeIndex] = {}
+        self._next_seq = 0
+
+    def _index_for(self, ino: int, offset: Optional[int],
+                   length: Optional[int]) -> _RangeIndex:
+        """The inode's bucket index, created on first wait with a width
+        sized to that first range (power of two covering it)."""
+        index = self._index.get(ino)
+        if index is None:
+            if offset is None or length is None or length <= 0:
+                width = _DEFAULT_BUCKET_WIDTH
+            else:
+                width = 1 << max(_MIN_BUCKET_BITS,
+                                 (length - 1).bit_length())
+            index = self._index[ino] = _RangeIndex(width)
+        return index
 
     def wait(self, ino: int, waiter: object, offset: Optional[int] = None,
              length: Optional[int] = None, owner: object = None) -> None:
@@ -108,14 +241,19 @@ class _WaiterMixin:
             queue = self._waiters[ino] = {}
         end = None if offset is None or length is None else offset + length
         entry = queue.get(key)
+        index = self._index_for(ino, offset, length)
         if entry is not None:
             # Re-arm in place: the loser keeps its FIFO position.
+            if entry.offset != offset or entry.end != end:
+                index.place(key, offset, end)
             entry.offset = offset
             entry.end = end
             entry.event = waiter
             entry.woken = False
         else:
-            queue[key] = _WaitEntry(offset, end, waiter)
+            queue[key] = _WaitEntry(offset, end, waiter, self._next_seq)
+            self._next_seq += 1
+            index.place(key, offset, end)
 
     def waiters(self, ino: int) -> int:
         """Number of waiters currently parked (armed) on *ino*."""
@@ -127,8 +265,13 @@ class _WaiterMixin:
     def _discard_waiter(self, ino: int, owner: object) -> None:
         """Drop *owner*'s entry on *ino* (called on lock acquisition)."""
         queue = self._waiters.get(ino)
-        if queue and queue.pop(owner, None) is not None and not queue:
-            del self._waiters[ino]
+        if queue and queue.pop(owner, None) is not None:
+            index = self._index.get(ino)
+            if index is not None:
+                index.remove(owner)
+            if not queue:
+                del self._waiters[ino]
+                self._index.pop(ino, None)
 
     def _wake(self, ino: int,
               ranges: Optional[List[Tuple[int, int]]] = None) -> int:
@@ -138,13 +281,29 @@ class _WaiterMixin:
         waiters overlapping a released range are woken; otherwise every
         armed waiter is. Entries stay queued (one-shot, positional) —
         the owner either acquires (entry discarded) or re-arms.
+
+        Candidate selection: with the bucket index enabled, only owners
+        in buckets touched by *ranges* (plus wildcards) are considered,
+        sorted back into queue-sequence order before the exact overlap
+        check — the same waiters wake in the same order as a full scan.
         """
         queue = self._waiters.get(ino)
         if not queue:
             return 0
         indexed = _RANGE_WAKE_ENABLED and ranges is not None
+        entries = None
+        if indexed and _WAITER_INDEX_ENABLED:
+            index = self._index.get(ino)
+            if index is not None and len(index.placed) == len(queue):
+                shortlist = [queue[owner]
+                             for owner in index.candidates(ranges)
+                             if owner in queue]
+                shortlist.sort(key=lambda e: e.seq)
+                entries = shortlist
+        if entries is None:
+            entries = list(queue.values())
         woken = 0
-        for entry in list(queue.values()):
+        for entry in entries:
             if entry.woken:
                 continue
             if indexed and entry.offset is not None:
@@ -173,6 +332,7 @@ class _WaiterMixin:
     def _wake_all(self) -> None:
         """Wake every parked waiter on every inode (crash reset path)."""
         waiters, self._waiters = self._waiters, {}
+        self._index = {}
         for queue in waiters.values():
             for entry in queue.values():
                 if not entry.woken:

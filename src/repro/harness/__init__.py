@@ -1,4 +1,5 @@
-"""Experiment harness: configs, runner, reporting, per-figure experiments."""
+"""Experiment harness: configs, runner, reporting, per-figure
+experiments, and the content-addressed sweep workspace."""
 
 from .config import ExperimentConfig, JobRun
 from .experiments import (BaselineComparison, CompositeResult,
@@ -10,6 +11,8 @@ from .experiments import (BaselineComparison, CompositeResult,
                           run_sharing_experiment)
 from .report import pct, ratio, series_text, sparkline, table
 from .runner import ExperimentResult, JobOutcome, run_experiment
+from .sweep import BUILTIN_GRIDS, ParallelRunner, SweepRun, SweepSpec
+from .workspace import Workspace, code_rev, point_key
 
 __all__ = [
     "ExperimentConfig",
@@ -38,4 +41,11 @@ __all__ = [
     "sparkline",
     "pct",
     "ratio",
+    "Workspace",
+    "code_rev",
+    "point_key",
+    "SweepSpec",
+    "SweepRun",
+    "ParallelRunner",
+    "BUILTIN_GRIDS",
 ]

@@ -40,6 +40,7 @@ __all__ = [
     "InterferenceResult", "ScalingResult", "BaselineComparison",
     "LambdaResult", "CompositeResult", "ProvisioningResult",
     "AvailabilityResult", "availability_outage",
+    "sharing_cell", "fig07_cell", "fig14_cell",
 ]
 
 #: background interference job of §5.5: one node of small write/read cycles.
@@ -150,6 +151,103 @@ def _two_job_run(policy: str, spec1: JobSpec, spec2: JobSpec,
                          t_job2_start=t2_start, t_job2_end=t2_end,
                          solo_median=solo, shared_medians=shared,
                          shared_stddev=sdev, peak_throughput=peak)
+
+
+# =====================================================================
+# Sweep point functions (repro.harness.sweep POINT_KINDS targets).
+# Each takes one fully-resolved config dict and returns a JSON-able
+# result; all state lives inside the call, so points are safe to run
+# in any order, in any process (the sweep determinism contract).
+# =====================================================================
+
+def sharing_cell(config: Dict) -> Dict:
+    """One two-job sharing point: the Fig. 8 timeline as a sweep cell.
+
+    Config keys: ``policy``, ``seed``, optional ``nodes1`` (4),
+    ``nodes2`` (1), ``scale`` (0.25), ``n_servers`` (1).
+    """
+    spec1 = JobSpec(job_id=1, user="userA",
+                    nodes=int(config.get("nodes1", 4)))
+    spec2 = JobSpec(job_id=2, user="userB",
+                    nodes=int(config.get("nodes2", 1)))
+    out = _two_job_run(str(config.get("policy", "job-fair")), spec1, spec2,
+                       float(config.get("scale", 0.25)),
+                       int(config.get("seed", 0)),
+                       n_servers=int(config.get("n_servers", 1)))
+    return {
+        "solo_median": float(out.solo_median),
+        "shared_medians": {str(j): float(out.shared_medians[j])
+                           for j in sorted(out.shared_medians)},
+        "shared_stddev": {str(j): float(out.shared_stddev[j])
+                          for j in sorted(out.shared_stddev)},
+        "total": float(out.peak_throughput),
+    }
+
+
+def fig07_cell(config: Dict) -> Dict:
+    """One (policy, mode, n_servers) cell of the Fig. 7 scaling grid.
+
+    Config keys: ``policy``, ``mode``, ``n_servers``, optional
+    ``duration`` (3.0), ``block`` (8 MB), ``seed`` (0).
+    """
+    n = int(config["n_servers"])
+    duration = float(config.get("duration", 3.0))
+    jobs = [JobRun(
+        spec=JobSpec(job_id=i + 1, user=f"u{i}", nodes=1),
+        workload=IORWorkload(file_size=64 * MB,
+                             block_size=int(config.get("block", 8 * MB)),
+                             mode=str(config["mode"]), streams_per_node=8),
+        start=0.0, stop=duration) for i in range(n)]
+    result = run_sharing_experiment(
+        str(config["policy"]), jobs, n_servers=n, scale=duration / 60.0,
+        seed=int(config.get("seed", 0)), sample_interval=0.25)
+    # steady window, skipping ramp-up
+    return {"throughput": float(result.window_throughput(duration * 0.25,
+                                                         duration))}
+
+
+def fig14_cell(config: Dict) -> Dict:
+    """One λ point of the Fig. 14 ladder (the Fig. 5 scenario measured).
+
+    Config keys: ``lam`` (the sync interval, seconds), optional
+    ``seed`` (0).
+    """
+    lam = float(config["lam"])
+    seed = int(config.get("seed", 0))
+    by_server, _ = _pinned_paths(seed)
+    s0_paths, s1_paths = by_server["bb0"], by_server["bb1"]
+    fair = {1: 0.5, 2: 0.25, 3: 0.25}
+    duration = max(8 * lam, 0.8)
+    server = ServerConfig(sync_interval=lam)
+    jobs = [
+        # Job 1 (16 nodes) touches both servers; jobs 2 and 3 one each.
+        JobRun(spec=JobSpec(job_id=1, user="u1", nodes=16),
+               workload=PinnedWriter([s0_paths[0], s1_paths[0]],
+                                     request_size=2 * MB,
+                                     streams_per_node=8),
+               start=0.0, stop=duration),
+        JobRun(spec=JobSpec(job_id=2, user="u2", nodes=8),
+               workload=PinnedWriter([s0_paths[1]], request_size=2 * MB,
+                                     streams_per_node=8),
+               start=0.0, stop=duration),
+        JobRun(spec=JobSpec(job_id=3, user="u3", nodes=8),
+               workload=PinnedWriter([s1_paths[1]], request_size=2 * MB,
+                                     streams_per_node=8),
+               start=0.0, stop=duration),
+    ]
+    result = run_sharing_experiment("size-fair", jobs, n_servers=2,
+                                    scale=duration / 60.0, seed=seed,
+                                    sample_interval=lam, server=server)
+    timeline = ShareTimeline(result.sampler, interval=lam,
+                             start=0.0, end=duration)
+    conv = convergence_interval(timeline, fair, tolerance=0.12, sustain=2)
+    # Variance of job 1's observed share after convergence.
+    shares = timeline.share_series(1)
+    tail = shares[len(shares) // 2:]
+    return {
+        "intervals_to_fairness": None if conv is None else int(conv),
+        "share_variance": float(tail.var()) if len(tail) else 0.0,
+    }
 
 
 # =====================================================================
@@ -280,29 +378,34 @@ class ScalingResult:
 
 def fig07_scaling(server_counts: Sequence[int] = (1, 2, 4, 8),
                   duration: float = 3.0, block: int = 8 * MB,
-                  seed: int = 0) -> ScalingResult:
+                  seed: int = 0, workspace=None, jobs: int = 1
+                  ) -> ScalingResult:
     """Fig. 7: aggregate unidirectional throughput, FIFO vs job-fair,
     write vs read, with as many client nodes as server nodes (8 IOR
     streams per client node). Expect near-linear scaling with efficiency
-    declining as counts grow (placement imbalance), FIFO ≈ job-fair."""
-    rows: Dict[str, List[float]] = {}
+    declining as counts grow (placement imbalance), FIFO ≈ job-fair.
+
+    Each (policy, mode, N) cell runs as an independent sweep point (see
+    :func:`fig07_cell`): pass a ``workspace`` to cache cells across
+    invocations and ``jobs`` to fan cold cells out over processes.
+    """
+    from .sweep import ParallelRunner
+    keys: List[str] = []
+    points = []
     for policy in ("fifo", "job-fair"):
         for mode in ("write", "read"):
-            key = f"{policy}-{mode}"
-            rows[key] = []
+            keys.append(f"{policy}-{mode}")
             for n in server_counts:
-                jobs = [JobRun(
-                    spec=JobSpec(job_id=i + 1, user=f"u{i}", nodes=1),
-                    workload=IORWorkload(file_size=64 * MB, block_size=block,
-                                         mode=mode, streams_per_node=8),
-                    start=0.0, stop=duration) for i in range(n)]
-                result = run_sharing_experiment(
-                    policy, jobs, n_servers=n, scale=duration / 60.0,
-                    seed=seed, sample_interval=0.25)
-                # steady window, skipping ramp-up
-                rate = result.window_throughput(duration * 0.25,
-                                                duration)
-                rows[key].append(rate)
+                points.append(("fig07_cell", {
+                    "policy": policy, "mode": mode, "n_servers": int(n),
+                    "duration": float(duration), "block": int(block),
+                    "seed": int(seed)}))
+    run = ParallelRunner(workspace=workspace, jobs=jobs).run_points(points)
+    outcomes = iter(run.points)
+    rows: Dict[str, List[float]] = {}
+    for key in keys:
+        rows[key] = [float(next(outcomes).result["throughput"])
+                     for _ in server_counts]
     return ScalingResult(server_counts=list(server_counts), rows=rows)
 
 
@@ -602,46 +705,26 @@ def _pinned_paths(cluster_seed: int, n_servers: int = 2
 
 
 def fig14_lambda(lambdas: Sequence[float] = (0.010, 0.050, 0.200, 0.500),
-                 seed: int = 0) -> LambdaResult:
+                 seed: int = 0, workspace=None, jobs: int = 1
+                 ) -> LambdaResult:
     """Fig. 14 (the Fig. 5 scenario measured): three size-fair jobs (16,
     8, 8 nodes) whose files live on disjoint servers; vary λ. Expected:
     global fairness within a couple of intervals for λ >= 50 ms, more
-    intervals at 10 ms, and higher share variance at shorter λ."""
-    by_server, _ = _pinned_paths(seed)
-    s0_paths, s1_paths = by_server["bb0"], by_server["bb1"]
+    intervals at 10 ms, and higher share variance at shorter λ.
+
+    Each λ runs as an independent sweep point (see :func:`fig14_cell`);
+    ``workspace``/``jobs`` enable caching and parallel fan-out.
+    """
+    from .sweep import ParallelRunner
+    points = [("fig14_cell", {"lam": float(lam), "seed": int(seed)})
+              for lam in lambdas]
+    run = ParallelRunner(workspace=workspace, jobs=jobs).run_points(points)
     convergence: Dict[float, Optional[int]] = {}
     variance: Dict[float, float] = {}
-    fair = {1: 0.5, 2: 0.25, 3: 0.25}
-    for lam in lambdas:
-        duration = max(8 * lam, 0.8)
-        server = ServerConfig(sync_interval=lam)
-        jobs = [
-            # Job 1 (16 nodes) touches both servers; jobs 2 and 3 one each.
-            JobRun(spec=JobSpec(job_id=1, user="u1", nodes=16),
-                   workload=PinnedWriter([s0_paths[0], s1_paths[0]],
-                                         request_size=2 * MB,
-                                         streams_per_node=8),
-                   start=0.0, stop=duration),
-            JobRun(spec=JobSpec(job_id=2, user="u2", nodes=8),
-                   workload=PinnedWriter([s0_paths[1]], request_size=2 * MB,
-                                         streams_per_node=8),
-                   start=0.0, stop=duration),
-            JobRun(spec=JobSpec(job_id=3, user="u3", nodes=8),
-                   workload=PinnedWriter([s1_paths[1]], request_size=2 * MB,
-                                         streams_per_node=8),
-                   start=0.0, stop=duration),
-        ]
-        result = run_sharing_experiment("size-fair", jobs, n_servers=2,
-                                        scale=duration / 60.0, seed=seed,
-                                        sample_interval=lam, server=server)
-        timeline = ShareTimeline(result.sampler, interval=lam,
-                                 start=0.0, end=duration)
-        convergence[lam] = convergence_interval(timeline, fair,
-                                                tolerance=0.12, sustain=2)
-        # Variance of job 1's observed share after convergence.
-        shares = timeline.share_series(1)
-        tail = shares[len(shares) // 2:]
-        variance[lam] = float(tail.var()) if len(tail) else 0.0
+    for lam, outcome in zip(lambdas, run.points):
+        conv = outcome.result["intervals_to_fairness"]
+        convergence[lam] = None if conv is None else int(conv)
+        variance[lam] = float(outcome.result["share_variance"])
     return LambdaResult(lambdas=list(lambdas), convergence=convergence,
                         variance=variance)
 

@@ -9,7 +9,8 @@ from ..core import Finding, Module, Rule, Severity, register
 from ._util import dotted_name, is_generator, iter_functions, \
     statements_in_order
 
-__all__ = ["BlockingCallRule", "YieldRaceRule", "MutableDefaultRule"]
+__all__ = ["BlockingCallRule", "YieldRaceRule", "MutableDefaultRule",
+           "WorkerBoundaryRule"]
 
 
 @register
@@ -172,3 +173,112 @@ class MutableDefaultRule(Rule):
                         module, default,
                         f"mutable default in '{func.name}()'; use None and "
                         "construct inside the body")
+
+
+@register
+class WorkerBoundaryRule(Rule):
+    """SIM004: unsafe worker boundary for parallel fan-out.
+
+    A forked worker duplicates live interpreter state — engine clocks,
+    RNG registries, open journal handles — so a point computed in the
+    child can silently diverge from the same point computed serially.
+    Sim-safe fan-out (the sweep runner's contract) uses the ``spawn``
+    start method so each worker re-imports the code and rebuilds its
+    world from the point config alone, and passes a *top-level* worker
+    function that spawn can re-import by qualified name. This rule
+    flags the three ways code steps outside that contract: forking
+    (``os.fork``, a non-spawn ``get_context``/``set_start_method``),
+    platform-default ``multiprocessing.Pool``/``Process`` construction,
+    and lambda or ``self``-bound workers handed to pool fan-out calls.
+    """
+
+    id = "SIM004"
+    severity = Severity.ERROR
+    title = "unsafe parallel worker boundary"
+    rationale = ("fork duplicates live sim state; use spawn and top-level "
+                 "worker functions so children rebuild from the config")
+    scopes = ("src",)
+
+    #: Pool fan-out methods whose worker argument must be picklable by
+    #: qualified name (plain ``.map`` is omitted: too many non-pool
+    #: objects expose it).
+    _POOL_METHODS = {"imap", "imap_unordered", "map_async", "apply_async",
+                     "starmap", "starmap_async"}
+    #: Constructors that silently take the platform-default start method
+    #: (fork on Linux).
+    _DEFAULT_CTX = {"multiprocessing.Pool", "multiprocessing.Process",
+                    "multiprocessing.pool.Pool"}
+
+    def _mp_aliases(self, module: Module) -> Dict[str, str]:
+        """Local name -> multiprocessing symbol, for from-imports."""
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module is not None \
+                    and node.module.split(".")[0] == "multiprocessing":
+                for alias in node.names:
+                    aliases[alias.asname or alias.name] = alias.name
+        return aliases
+
+    def _start_method_arg(self, node: ast.Call) -> Optional[str]:
+        """The constant start-method argument, '' if absent, None if
+        dynamic (not a string literal)."""
+        args = list(node.args) + [kw.value for kw in node.keywords
+                                  if kw.arg == "method"]
+        if not args:
+            return ""
+        first = args[0]
+        if isinstance(first, ast.Constant) and \
+                isinstance(first.value, str):
+            return first.value
+        return None
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        aliases = self._mp_aliases(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            symbol = aliases.get(name, name)
+            if symbol == "os.fork":
+                yield self.finding(
+                    module, node,
+                    "os.fork() duplicates live sim state (engine clocks, "
+                    "RNG registries); use spawn-based fan-out")
+            elif symbol in ("multiprocessing.get_context", "get_context",
+                            "multiprocessing.set_start_method",
+                            "set_start_method"):
+                method = self._start_method_arg(node)
+                if method != "spawn":
+                    shown = "platform default" if method == "" else \
+                        (method or "a dynamic value")
+                    yield self.finding(
+                        module, node,
+                        f"start method is {shown!r}; only 'spawn' "
+                        "re-imports workers instead of forking live sim "
+                        "state")
+            elif symbol in self._DEFAULT_CTX or \
+                    (name in aliases and aliases[name] in ("Pool",
+                                                           "Process")):
+                yield self.finding(
+                    module, node,
+                    f"'{name}' uses the platform-default start method "
+                    "(fork on Linux); construct it from "
+                    "get_context('spawn')")
+            elif name.rpartition(".")[2] in self._POOL_METHODS and \
+                    node.args:
+                worker = node.args[0]
+                if isinstance(worker, ast.Lambda):
+                    yield self.finding(
+                        module, node,
+                        "lambda worker cannot be re-imported by a spawned "
+                        "child; use a top-level function")
+                elif isinstance(worker, ast.Attribute) and \
+                        isinstance(worker.value, ast.Name) and \
+                        worker.value.id == "self":
+                    yield self.finding(
+                        module, node,
+                        "bound-method worker drags its instance (live sim "
+                        "state) across the process boundary; use a "
+                        "top-level function")

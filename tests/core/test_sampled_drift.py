@@ -1,0 +1,71 @@
+"""Error-tracked Fenwick rebuilds: the sampler rebuilds on *measured*
+drift instead of a fixed update count, without weakening the
+bit-identity guard (GUARD_MARGIN stays 16x above DRIFT_FRACTION)."""
+
+from repro.core.sampled import (BacklogSampler, DRIFT_FRACTION,
+                                GUARD_MARGIN, REBUILD_EVERY)
+
+
+def _loaded(n=64):
+    sampler = BacklogSampler()
+    sampler.bulk_load(list(range(n)), [1.0] * n)
+    return sampler
+
+
+class TestDriftTracking:
+    def test_margin_headroom_invariant(self):
+        # The guard's proof needs the tracked drift cap well inside the
+        # fallback margin; 2**-34 vs 2**-30 is the 16x documented.
+        assert DRIFT_FRACTION * 16 <= GUARD_MARGIN
+
+    def test_updates_accumulate_error_bound(self):
+        sampler = _loaded()
+        assert sampler._err_bound == 0.0
+        for i in range(10):
+            sampler.set_weight(i, 2.0)
+        assert sampler._err_bound > 0.0
+
+    def test_rebuild_resets_error_bound(self):
+        sampler = _loaded()
+        sampler.set_weight(0, 2.0)
+        assert sampler._err_bound > 0.0
+        sampler._rebuild_tree()
+        assert sampler._err_bound == 0.0
+
+    def test_light_churn_never_rebuilds(self):
+        # 4096 updates would have forced 4 rebuilds under the old fixed
+        # 1024-update cadence; tracked drift stays far under threshold.
+        sampler = _loaded()
+        rebuilds = sampler.rebuilds
+        for i in range(4096):
+            sampler.set_weight(i % 64, 1.0 + (i % 7) * 0.125)
+        sampler.sample(0.5)
+        assert sampler.rebuilds == rebuilds
+        assert sampler.drift_rebuilds == 0
+
+    def test_draw_rebuilds_when_bound_exceeded(self):
+        sampler = _loaded()
+        sampler.set_weight(0, 2.0)
+        sampler._err_bound = 1.0  # force the bound over threshold
+        job = sampler.sample(0.5)
+        assert sampler.drift_rebuilds == 1
+        assert sampler._err_bound == 0.0
+        assert job is not None  # the draw itself still lands
+
+    def test_draws_identical_across_forced_rebuild(self):
+        a, b = _loaded(), _loaded()
+        for i in range(50):
+            a.set_weight(i, 1.0 + i * 0.01)
+            b.set_weight(i, 1.0 + i * 0.01)
+        b._err_bound = 1.0  # b rebuilds on its next draw, a does not
+        draws = [0.013 * k % 1.0 for k in range(100)]
+        assert [a.sample(u) for u in draws] == [b.sample(u) for u in draws]
+        assert b.drift_rebuilds == 1
+
+    def test_update_count_backstop_still_fires(self):
+        sampler = _loaded(8)
+        sampler._updates = REBUILD_EVERY - 1
+        rebuilds = sampler.rebuilds
+        sampler.set_weight(0, 3.0)
+        assert sampler.rebuilds == rebuilds + 1
+        assert sampler._updates == 0

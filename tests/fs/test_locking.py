@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import FSError
 from repro.fs import MetadataLockTable, RangeLockTable
+from repro.fs import locking as lockmod
 
 
 class TestRangeLocks:
@@ -118,6 +119,83 @@ class TestWaiterQueues:
         t.unlock(7, "owner")
         assert w.woken
         assert t.try_lock(7, "w")  # lock is free for the woken waiter
+
+
+class TestWaiterIndex:
+    """Bucket-indexed wake candidate selection must be trace-neutral:
+    the same waiters wake in the same FIFO order as the full scan."""
+
+    KB = 1024
+
+    def setup_method(self):
+        _Waiter.log = []
+
+    def _contended_scenario(self):
+        """Holder on [0, 8K); ranged, unranged, and wide waiters parked."""
+        t = RangeLockTable()
+        t.try_lock_write(1, 0, 8 * self.KB, "holder")
+        t.wait(1, _Waiter("in-range"), offset=4 * self.KB,
+               length=self.KB, owner="in-range")
+        t.wait(1, _Waiter("out-of-range"), offset=64 * self.KB,
+               length=self.KB, owner="out-of-range")
+        t.wait(1, _Waiter("unranged"), owner="unranged")
+        # Spans far more than _INDEX_SPAN_CAP buckets: wildcard entry.
+        t.wait(1, _Waiter("wide"), offset=0, length=1 << 22, owner="wide")
+        return t
+
+    def _run_release(self, indexed):
+        lockmod.set_waiter_index_enabled(indexed)
+        try:
+            _Waiter.log = []
+            t = self._contended_scenario()
+            t.unlock_write(1, "holder")
+            return list(_Waiter.log)
+        finally:
+            lockmod.set_waiter_index_enabled(True)
+
+    def test_index_on_off_produce_identical_wake_trace(self):
+        # Overlapping + unranged + wildcard wake, in arrival order; the
+        # disjoint waiter stays parked — with or without the index.
+        assert self._run_release(True) == \
+            self._run_release(False) == ["in-range", "unranged", "wide"]
+
+    def test_rearm_moves_entry_between_buckets(self):
+        t = RangeLockTable()
+        t.try_lock_write(1, 0, self.KB, "holder")
+        w = _Waiter("w")
+        t.wait(1, w, offset=512 * self.KB, length=self.KB, owner="w")
+        # Re-arm onto the held range: the index must follow the move.
+        t.wait(1, w, offset=0, length=self.KB, owner="w")
+        t.unlock_write(1, "holder")
+        assert _Waiter.log == ["w"]
+
+    def test_acquisition_removes_entry_from_index(self):
+        t = RangeLockTable()
+        t.try_lock_write(1, 0, self.KB, "holder")
+        t.wait(1, _Waiter("w"), offset=0, length=self.KB, owner="w")
+        assert t.try_lock_write(1, 4 * self.KB, self.KB, "w")
+        assert t.waiters(1) == 0
+        t.unlock_write(1, "holder")
+        assert _Waiter.log == []  # discarded entry never wakes
+
+    def test_reset_clears_index_with_queues(self):
+        t = self._contended_scenario()
+        t.reset()
+        assert t._index == {} and t._waiters == {}
+        # The table keeps working after the crash path.
+        t.try_lock_write(1, 0, self.KB, "h2")
+        t.wait(1, _Waiter("again"), offset=0, length=self.KB, owner="again")
+        _Waiter.log = []
+        t.unlock_write(1, "h2")
+        assert _Waiter.log == ["again"]
+
+    def test_index_toggle_roundtrip(self):
+        assert lockmod.waiter_index_enabled()
+        lockmod.set_waiter_index_enabled(False)
+        try:
+            assert not lockmod.waiter_index_enabled()
+        finally:
+            lockmod.set_waiter_index_enabled(True)
 
 
 class TestMetadataLocks:

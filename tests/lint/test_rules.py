@@ -227,6 +227,71 @@ class TestMutableDefault:
         assert hits("def f(acc=[]):\n    pass\n", "SIM003", path=TEST)
 
 
+# ------------------------------------------------------------------ SIM004
+class TestWorkerBoundary:
+    def test_fork_context_flagged(self):
+        src = ("import multiprocessing\n"
+               "ctx = multiprocessing.get_context('fork')\n")
+        assert hits(src, "SIM004")
+
+    def test_default_context_flagged(self):
+        src = ("import multiprocessing\n"
+               "ctx = multiprocessing.get_context()\n")
+        assert hits(src, "SIM004")
+
+    def test_dynamic_context_flagged(self):
+        src = ("import multiprocessing\n"
+               "ctx = multiprocessing.get_context(method)\n")
+        assert hits(src, "SIM004")
+
+    def test_spawn_context_clean(self):
+        src = ("import multiprocessing\n"
+               "ctx = multiprocessing.get_context('spawn')\n")
+        assert not hits(src, "SIM004")
+
+    def test_set_start_method_fork_flagged(self):
+        src = ("import multiprocessing\n"
+               "multiprocessing.set_start_method('fork')\n")
+        assert hits(src, "SIM004")
+
+    def test_os_fork_flagged(self):
+        assert hits("import os\npid = os.fork()\n", "SIM004")
+
+    def test_default_pool_flagged(self):
+        src = ("import multiprocessing\n"
+               "pool = multiprocessing.Pool(4)\n")
+        assert hits(src, "SIM004")
+
+    def test_from_import_pool_flagged(self):
+        src = ("from multiprocessing import Pool\n"
+               "pool = Pool(4)\n")
+        assert hits(src, "SIM004")
+
+    def test_spawn_context_pool_clean(self):
+        # The sweep runner's own pattern: context-derived Pool is fine.
+        src = ("import multiprocessing\n"
+               "ctx = multiprocessing.get_context('spawn')\n"
+               "pool = ctx.Pool(4)\n")
+        assert not hits(src, "SIM004")
+
+    def test_lambda_worker_flagged(self):
+        src = "r = pool.imap_unordered(lambda t: t * 2, tasks)\n"
+        assert hits(src, "SIM004")
+
+    def test_bound_method_worker_flagged(self):
+        src = "r = pool.apply_async(self._work, (task,))\n"
+        assert hits(src, "SIM004")
+
+    def test_toplevel_worker_clean(self):
+        src = "r = pool.imap_unordered(worker_fn, tasks)\n"
+        assert not hits(src, "SIM004")
+
+    def test_tests_scope_exempt(self):
+        src = ("import multiprocessing\n"
+               "pool = multiprocessing.Pool(4)\n")
+        assert not hits(src, "SIM004", path=TEST)
+
+
 # ----------------------------------------------------------------- PERF101
 class TestMissingSlots:
     HOT = "src/repro/core/tokens.py"

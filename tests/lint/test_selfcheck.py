@@ -44,7 +44,7 @@ def test_rule_catalogue_is_complete():
     assert len(ids) == len(set(ids))
     # The catalogue promised in ISSUE/DESIGN: DET, SIM, and PERF classes.
     assert {"DET001", "DET002", "DET003", "DET004", "DET005",
-            "SIM001", "SIM002", "SIM003",
+            "SIM001", "SIM002", "SIM003", "SIM004",
             "PERF101", "PERF102"} <= set(ids)
     for rule in rules:
         assert rule.title and rule.rationale and rule.scopes

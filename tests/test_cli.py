@@ -45,3 +45,47 @@ class TestSharing:
         assert main(["sharing", "--policy", "banana-fair",
                      "--jobs", "1:a"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestSweep:
+    def _spec(self, tmp_path, scale=0.02):
+        import json
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "cli-test", "kind": "sharing",
+            "base": {"nodes1": 2, "scale": scale, "n_servers": 1,
+                     "seed": 0},
+            "axes": {"policy": ["job-fair"], "nodes2": [1, 2]}}))
+        return str(path)
+
+    def test_spec_file_cold_then_warm(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_REV", "cli-test-rev")
+        spec = self._spec(tmp_path)
+        ws = str(tmp_path / "ws")
+        out_json = str(tmp_path / "run.json")
+        assert main(["sweep", spec, "--workspace", ws,
+                     "--json", out_json]) == 0
+        out = capsys.readouterr().out
+        assert "sweep cli-test (sharing): 2 points" in out
+        assert "misses 2" in out
+        assert main(["sweep", spec, "--workspace", ws]) == 0
+        warm = capsys.readouterr().out
+        assert "hits 2" in warm and "misses 0" in warm
+        import json
+        doc = json.load(open(out_json))
+        assert doc["points"] == 2 and doc["digest"]
+
+    def test_no_workspace_flag(self, tmp_path, capsys):
+        spec = self._spec(tmp_path)
+        assert main(["sweep", spec, "--no-workspace"]) == 0
+        assert "misses 2" in capsys.readouterr().out
+
+    def test_bad_spec_is_an_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["sweep", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--grid", "no-such-grid"])
