@@ -24,7 +24,8 @@ from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 from ..core.jobinfo import JobInfo
 from ..errors import ConfigError, FileNotFound, RpcTimeout
 from ..fs.filesystem import ThemisFS
-from ..fs.striping import map_range, server_spans
+from ..fs.striping import (ErasureSpec, group_range, map_range,
+                           parity_spans, server_spans)
 from ..metrics.faultstats import FaultStats
 from ..net.fabric import Fabric
 from ..sim.process import Event
@@ -297,11 +298,14 @@ class Client:
     # ------------------------------------------------------------------- I/O
     def _io_call(self, server: str, op: str, path: str, offset: int = 0,
                  size: int = 0, payload: Optional[bytes] = None,
-                 wire: Optional[int] = None):
+                 wire: Optional[int] = None,
+                 extra: Optional[Dict[str, Any]] = None):
         """Generator: one request/response against *server*."""
         body = {"op": op, "path": path, "offset": offset, "size": size,
                 "payload": payload, "client_id": self.client_id,
                 "job": self.job}
+        if extra:
+            body.update(extra)
         wire_size = _HEADER_BYTES + (wire if wire is not None else 0)
         if self._ft:
             body["req_id"] = self._next_req_id()
@@ -376,12 +380,25 @@ class Client:
         inode = yield from self._require_inode(path)
         if self.cache is not None:
             self.cache.invalidate(path, offset, size)
+        down = set()
+        if isinstance(inode.stripe, ErasureSpec):
+            # Degraded write: skip down share servers instead of
+            # retrying into the void — the skipped shares are exactly
+            # what repair later rebuilds from the written ones.
+            down = {s for s in inode.stripe.servers
+                    if self.ctx.fabric.node_is_down(s)}
         if payload is not None:
             calls = []
+            skipped = False
             for piece in map_range(inode.stripe, offset, size):
+                if piece.server in down:
+                    skipped = True
+                    continue
                 lo = piece.file_offset - offset
                 calls.append((piece.server, piece.file_offset, piece.length,
                               payload[lo:lo + piece.length]))
+            if skipped:
+                self.stats.degraded_writes += 1
             total = 0
             pending = []
             if self._ft:
@@ -403,10 +420,19 @@ class Client:
                         size=_HEADER_BYTES + s_len))
             results = yield self.engine.all_of(pending)
             total = sum(r["bytes"] for r in results)
+            if isinstance(inode.stripe, ErasureSpec):
+                yield from self._parity_fanout(path, inode.stripe, offset,
+                                               size, down=down,
+                                               payload=payload)
             self.ops_completed += 1
             return total
 
         per_server = self._split(inode, offset, size)
+        if down and any(server in down for server in per_server):
+            per_server = {server: span
+                          for server, span in per_server.items()
+                          if server not in down}
+            self.stats.degraded_writes += 1
         pending = []
         if self._ft:
             for server, (first_offset, nbytes) in sorted(per_server.items()):
@@ -434,8 +460,52 @@ class Client:
             inode = self.fs.lookup(path) or inode
         if inode.size < offset + size:
             inode.size = offset + size
+        if isinstance(inode.stripe, ErasureSpec):
+            yield from self._parity_fanout(path, inode.stripe, offset, size,
+                                           down=down)
         self.ops_completed += 1
         return sum(r["bytes"] for r in results)
+
+    def _parity_fanout(self, path: str, spec: ErasureSpec, offset: int,
+                       size: int, down=frozenset(),
+                       payload: Optional[bytes] = None):
+        """Generator: parity share updates of an erasure write — one
+        share request per parity server, awaited after the data shares
+        land (the serving side rebuilds exactly the dirtied groups).
+
+        Down parity servers are skipped (degraded write). For payload
+        writes that skipped a *data* server, the parity content is
+        recomputed afterwards with the write overlaid, so surviving
+        parity encodes the true bytes the dead server never received —
+        that is what makes the skipped share reconstructible.
+        """
+        spans = parity_spans(spec, offset, size)
+        skipped = any(server in down for server in spans)
+        pending = []
+        for server, (anchor, nbytes, groups) in sorted(spans.items()):
+            if server in down:
+                continue
+            body = {"op": "write", "path": path, "offset": anchor,
+                    "size": nbytes, "payload": None,
+                    "client_id": self.client_id, "job": self.job,
+                    "share": True, "groups": groups}
+            if self._ft:
+                body["req_id"] = self._next_req_id()
+                pending.append(self.engine.process(self._request(
+                    server, body, _HEADER_BYTES + nbytes)))
+            else:
+                client = yield from self._ensure_io(server)
+                pending.append(client.call("io", body,
+                                           size=_HEADER_BYTES + nbytes))
+        if skipped:
+            self.stats.degraded_writes += 1
+        if pending:
+            yield self.engine.all_of(pending)
+        if payload is not None and down:
+            for group, _ in group_range(spec, offset, size):
+                self.fs.rebuild_parity(path, group,
+                                       overlay=(offset, payload),
+                                       skip_servers=down)
 
     def read(self, path: str, offset: int, size: int) -> int:
         """Generator: read up to *size* bytes at *offset*; returns bytes read."""
@@ -447,6 +517,12 @@ class Client:
             self.ops_completed += 1
             return avail  # served locally, no server round trip
         per_server = self._split(inode, offset, avail)
+        if isinstance(inode.stripe, ErasureSpec):
+            down = {s for s in sorted(per_server)
+                    if self.ctx.fabric.node_is_down(s)}
+            if down:
+                return (yield from self._degraded_read(
+                    path, inode, offset, avail, down))
         pending = []
         if self._ft:
             for server, (first_offset, nbytes) in sorted(per_server.items()):
@@ -470,6 +546,67 @@ class Client:
         if self.cache is not None:
             self.cache.fill(path, offset, avail)
         return sum(r["bytes"] for r in results)
+
+    def _degraded_read(self, path: str, inode, offset: int, avail: int,
+                       down: set) -> int:
+        """Generator: erasure degraded read around *down* share servers.
+
+        Pieces on up servers are read normally; for every stripe group
+        with a piece stranded on a down server the client fetches ``k``
+        full shares from reachable servers and reconstructs (the read
+        amplification is the price of degraded mode). Groups with fewer
+        than ``k`` reachable shares are accounted as lost — zero-filled,
+        never an exception. Returns bytes read (``avail`` minus loss).
+        """
+        spec = inode.stripe
+        self.stats.degraded_reads += 1
+        per_server = self._split(inode, offset, avail)
+        affected: Dict[int, int] = {}
+        for piece in map_range(spec, offset, avail):
+            if piece.server in down:
+                group = piece.chunk_index // spec.k
+                affected[group] = affected.get(group, 0) + piece.length
+        lost = 0
+        share_reads: Dict[str, Tuple[int, int]] = {}
+        for group in sorted(affected):
+            reachable = [s for s in range(spec.n)
+                         if spec.server_of_share(group, s) not in down]
+            if len(reachable) < spec.k:
+                self.stats.data_lost_groups += 1
+                lost += affected[group]
+                continue
+            self.stats.shares_reconstructed += sum(
+                1 for s in range(spec.k)
+                if spec.server_of_share(group, s) in down)
+            anchor = group * spec.group_bytes
+            for s in reachable[:spec.k]:
+                server = spec.server_of_share(group, s)
+                first, nbytes = share_reads.get(server, (anchor, 0))
+                share_reads[server] = (min(first, anchor),
+                                       nbytes + spec.stripe_size)
+        plan = [(server, span, False)
+                for server, span in sorted(per_server.items())
+                if server not in down]
+        plan += [(server, span, True)
+                 for server, span in sorted(share_reads.items())]
+        pending = []
+        for server, (first_offset, nbytes), share in plan:
+            body = {"op": "read", "path": path, "offset": first_offset,
+                    "size": nbytes, "payload": None,
+                    "client_id": self.client_id, "job": self.job}
+            if share:
+                body["share"] = True
+            if self._ft:
+                body["req_id"] = self._next_req_id()
+                pending.append(self.engine.process(self._request(
+                    server, body, _HEADER_BYTES)))
+            else:
+                client = yield from self._ensure_io(server)
+                pending.append(client.call("io", body, size=_HEADER_BYTES))
+        if pending:
+            yield self.engine.all_of(pending)
+        self.ops_completed += 1
+        return avail - lost
 
     def write_read_cycle(self, path: str, size: int) -> int:
         """Generator: one §5.3.1 benchmark cycle (write then read back)."""

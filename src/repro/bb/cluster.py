@@ -13,7 +13,7 @@ ThemisIO's statistical token scheduler; ``"fifo"``, ``"gift"`` or
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -59,12 +59,32 @@ class ClusterConfig:
     gift_mu: float = 0.5                 # §5.4 reference interval
     tbf_declared_jobs: int = 2           # "user-supplied" rate divisor
     tbf_rates: Optional[Dict[int, float]] = None
+    #: erasure-coded placement ``(k, n)``: every file gets k data +
+    #: (n - k) parity shares on n distinct servers. None (the default)
+    #: keeps plain striping — and the exact pre-erasure traces.
+    erasure: Optional[Tuple[int, int]] = None
+    #: run the crash-driven repair manager (requires ``erasure``).
+    repair: bool = False
+    #: failure-detector poll period of the repair manager (seconds).
+    repair_detect_interval: float = 0.5
 
     def __post_init__(self):
         if self.n_servers < 1:
             raise ConfigError("n_servers must be >= 1")
         if self.stripe_count < 1:
             raise ConfigError("stripe_count must be >= 1")
+        if self.erasure is not None:
+            k, n = self.erasure
+            if not 1 <= k < n:
+                raise ConfigError(f"erasure needs 1 <= k < n: k={k} n={n}")
+            if n > self.n_servers:
+                raise ConfigError(
+                    f"erasure n={n} exceeds n_servers={self.n_servers}")
+        if self.repair:
+            if self.erasure is None:
+                raise ConfigError("repair requires erasure=(k, n)")
+            if self.repair_detect_interval <= 0:
+                raise ConfigError("repair_detect_interval must be positive")
 
 
 def make_scheduler(config: ClusterConfig, server_name: str,
@@ -104,7 +124,8 @@ class Cluster:
                          stripe_size=self.config.stripe_size,
                          default_stripe_count=self.config.stripe_count,
                          clock=lambda: self.engine.now,
-                         storage_backend=self.config.storage_backend)
+                         storage_backend=self.config.storage_backend,
+                         erasure=self.config.erasure)
         self.servers: Dict[str, Server] = {}
         for name in server_names:
             scheduler = make_scheduler(
@@ -121,6 +142,11 @@ class Cluster:
                 server.connect_peers(sync_addresses)
         self._client_seq = 0
         self.clients: Dict[str, Client] = {}
+        self.repair = None
+        if self.config.repair:
+            from .repair import RepairManager
+            self.repair = RepairManager(
+                self, detect_interval=self.config.repair_detect_interval)
 
     # ---------------------------------------------------------------- clients
     def add_client(self, job: JobInfo,

@@ -10,7 +10,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from ..core.jobinfo import JobInfo
 from ..errors import InvalidArgument
@@ -59,6 +59,12 @@ class IORequest:
     #: failure the worker hit applying this request (reported in the
     #: reply as ok=False); None on success.
     error: Optional[Exception] = None
+    #: erasure-tier share traffic (parity updates, degraded-read and
+    #: repair share fetches): charged as raw device bytes, no logical
+    #: file-range clipping. False on every non-erasure request.
+    share: bool = False
+    #: stripe groups a share WRITE dirties (parity rebuild targets).
+    groups: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self):
         if self.size < 0 or self.offset < 0:

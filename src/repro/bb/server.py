@@ -229,6 +229,8 @@ class Server:
             rpc=rpc,
             arrival=self.engine.now,
             client_req_id=creq,
+            share=body.get("share", False),
+            groups=body.get("groups"),
         )
         self.scheduler.enqueue(request, self.engine.now)
         self._notify_work()

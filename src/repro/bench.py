@@ -27,6 +27,10 @@ Kernel inventory
   create/write/stat/truncate/unlink over striped files.
 - ``system_contended_write`` / ``system_disjoint_write`` — 3-job
   end-to-end runs on one server, with and without lock conflicts.
+- ``erasure_encode_decode`` — GF(256) Reed–Solomon encode + worst-case
+  ``n - k``-loss decode over a batch of stripe groups.
+- ``repair_storm`` — end-to-end erasure repair: payload writes, one
+  server crash, detection, scheduled share rebuilds, restripe.
 
 Scale-regime kernels (ISSUE 5) probe the paths whose cost used to grow
 with total population instead of with what changed:
@@ -63,6 +67,7 @@ from .core import (JobInfo, Policy, StatisticalTokenScheduler,
 from .core import scheduler as _schedmod
 from .core.baselines import GiftScheduler
 from .core.baselines import gift as _giftmod
+from .fs import erasure as _ecmod
 from .fs import locking as _lockmod
 from .fs.filesystem import ThemisFS
 from .fs.locking import RangeLockTable
@@ -239,6 +244,66 @@ def bench_fs_write_path() -> int:
         fs.unlink(path)
         ops += 1
     return ops
+
+
+def bench_erasure_encode_decode(groups: int = 24, k: int = 4, n: int = 6,
+                                share_size: int = 8 * KiB) -> int:
+    """GF(256) Reed–Solomon hot path: encode ``k``-of-``n`` groups,
+    then decode each one back from a rotating loss of ``n - k`` shares
+    (the erasure tier's degraded-read worst case)."""
+    blob = bytes(range(256)) * ((share_size * (groups + k)) // 256 + 1)
+    ops = 0
+    for g in range(groups):
+        data = [blob[(g + s) * share_size:(g + s + 1) * share_size]
+                for s in range(k)]
+        shares = data + _ecmod.encode(k, n, data)
+        dead = {(g + j) % n for j in range(n - k)}
+        held = {i: shares[i] for i in range(n) if i not in dead}
+        if _ecmod.decode(k, n, held) != data:
+            raise RuntimeError("erasure roundtrip mismatch")
+        ops += n + len(dead)
+    return ops
+
+
+def bench_repair_storm(n_files: int = 6, writes_per_file: int = 4) -> int:
+    """End-to-end crash → detect → rebuild → restripe cycle.
+
+    An erasure cluster payload-writes a batch of files, one share
+    server fail-stops, and the kernel runs until the repair episode has
+    rebuilt every lost share and restriped the files; returns groups
+    rebuilt. Exercises detection polling, the repair client's scheduled
+    share traffic, and the fs reconstruction path together.
+    """
+    cluster = Cluster(ClusterConfig(
+        n_servers=6, policy="job-fair", erasure=(3, 5), repair=True,
+        repair_detect_interval=0.1, stripe_size=256 * KiB,
+        server=ServerConfig(bandwidth=1 * GB, n_workers=4)))
+    cluster.fs.makedirs("/fs/data")
+    engine = cluster.engine
+    client = cluster.add_client(JobInfo(job_id=1, user="u0", size=1))
+    payload = bytes(range(256)) * (MiB // 256)
+    done: Dict[str, bool] = {}
+
+    def driver():
+        for i in range(n_files):
+            path = f"/fs/data/f{i}"
+            yield from client.create(path)
+            for w in range(writes_per_file):
+                yield from client.write(path, w * MiB, MiB,
+                                        payload=payload)
+        dead = cluster.fs.lookup("/fs/data/f0").stripe.servers[0]
+        cluster.crash_server(dead)
+        while not cluster.repair.episodes:
+            yield engine.timeout(0.05)
+        done["ok"] = True
+        engine.request_stop()
+
+    engine.process(driver())
+    cluster.run(until=3600.0)
+    summary = cluster.repair.summary()
+    if not done or summary["groups_lost"]:
+        raise RuntimeError(f"repair storm failed: {summary}")
+    return summary["groups_repaired"] + summary["groups_clean"]
 
 
 def bench_scheduler_dequeue_scale(n_jobs: int = 4096,
@@ -420,6 +485,12 @@ def run_all(quick: bool) -> Dict[str, Dict[str, float]]:
             _time_kernel(bench_lambda_sync_round, min(rounds, 3)),
         "gift_epoch": _time_kernel(bench_gift_epoch, min(rounds, 3)),
         "fs_write_path": _time_kernel(bench_fs_write_path, rounds),
+        "erasure_encode_decode": _time_kernel(
+            lambda: bench_erasure_encode_decode(
+                groups=12 if quick else 24), rounds),
+        "repair_storm": _time_kernel(
+            lambda: bench_repair_storm(n_files=3 if quick else 6),
+            min(rounds, 3)),
         "system_contended_write": _bench_system(True, writes),
         "system_disjoint_write": _bench_system(False, writes),
         # Scale-regime kernels: quick mode shrinks the populations so

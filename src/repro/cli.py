@@ -18,6 +18,11 @@ Commands
     with journaling, log-structured storage and fault-tolerant clients
     enabled; prints recovery time, fairness through the outage, and the
     run's fault counters.
+``repair``
+    Repair-vs-fairness study: erasure-coded jobs burst through a
+    mid-run server crash, once per sharing policy; prints the policy x
+    metric matrix (foreground slowdown, repair completion, loss
+    counters) and whether size-fair starves the size-1 repair job.
 ``bench``
     Run the hot-path benchmark kernels and write ``BENCH_<rev>.json``
     (see :mod:`repro.bench`; compare with ``scripts/bench_compare.py``).
@@ -45,7 +50,7 @@ from .core.policy import Policy
 from .errors import ReproError
 from .harness import experiments as exps
 from .harness.config import JobRun
-from .harness.experiments import run_sharing_experiment
+from .harness.experiments import REPAIR_POLICIES, run_sharing_experiment
 from .harness.sweep import BUILTIN_GRIDS
 from .units import fmt_bw
 from .workloads import JobSpec, WriteReadCycle
@@ -127,6 +132,20 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--crash-at", type=float, default=2.0)
     faults.add_argument("--restart-at", type=float, default=3.5)
     faults.add_argument("--seed", type=int, default=0)
+
+    repair = sub.add_parser(
+        "repair", help="repair-vs-fairness study: erasure-coded burst "
+                       "through a crash, one run per policy")
+    repair.add_argument("--policies", default=",".join(REPAIR_POLICIES),
+                        help="comma list of policies (default: "
+                             f"{','.join(REPAIR_POLICIES)})")
+    repair.add_argument("--duration", type=float, default=6.0)
+    repair.add_argument("--crash-at", type=float, default=2.0)
+    repair.add_argument("--seed", type=int, default=0)
+    repair.add_argument("--jobs", type=int, default=1,
+                        help="parallel workers, one policy per point")
+    repair.add_argument("--workspace", default=None,
+                        help="cache policy points in this workspace dir")
 
     sub.add_parser(
         "lint", add_help=False,
@@ -268,6 +287,19 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_repair(args) -> int:
+    workspace = None
+    if args.workspace:
+        from .harness.workspace import Workspace
+        workspace = Workspace(args.workspace)
+    out = exps.repair_fairness(
+        policies=[p.strip() for p in args.policies.split(",") if p.strip()],
+        seed=args.seed, duration=args.duration, crash_at=args.crash_at,
+        workspace=workspace, jobs=args.jobs)
+    print(out.report())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
@@ -289,6 +321,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sharing(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "repair":
+            return _cmd_repair(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
         if args.command == "bench":

@@ -9,7 +9,7 @@ them effect.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigError
 
@@ -176,6 +176,21 @@ class FaultPlan:
             if not isinstance(f, _FAULT_TYPES):
                 raise ConfigError(f"not a fault: {f!r}")
         items.sort(key=lambda f: getattr(f, "start", 0.0))
+        # A server cannot crash again before it restarted: overlapping
+        # down-windows for the same server describe an impossible
+        # schedule (the injector would crash an already-dead server).
+        windows: dict = {}
+        for f in items:
+            if not isinstance(f, ServerCrash):
+                continue
+            stop = (f.restart_at if f.restart_at is not None
+                    else float("inf"))
+            for lo, hi in windows.get(f.server, []):
+                if f.at < hi and lo < stop:
+                    raise ConfigError(
+                        f"overlapping crash windows for {f.server!r}: "
+                        f"[{lo}, {hi}) and [{f.at}, {stop})")
+            windows.setdefault(f.server, []).append((f.at, stop))
         object.__setattr__(self, "faults", tuple(items))
 
     def __len__(self) -> int:
@@ -185,7 +200,34 @@ class FaultPlan:
         """The plan's faults of one type, in schedule order."""
         return [f for f in self.faults if isinstance(f, fault_type)]
 
-    def describe(self) -> str:
-        """One line per fault, in schedule order."""
-        return "\n".join(f"t={getattr(f, 'start', 0.0):9.3f}  {f!r}"
-                         for f in self.faults)
+    def max_simultaneous_crashes(self) -> int:
+        """Largest number of servers down at the same instant under
+        this plan (restart-less crashes stay down forever)."""
+        crashes = self.of_type(ServerCrash)
+        worst = 0
+        for f in crashes:
+            down = sum(1 for g in crashes
+                       if g.at <= f.at
+                       and (g.restart_at is None or g.restart_at > f.at))
+            worst = max(worst, down)
+        return worst
+
+    def describe(self, erasure: Optional[Tuple[int, int]] = None) -> str:
+        """One line per fault, in schedule order.
+
+        With ``erasure=(k, n)`` the description is checked against the
+        code's loss tolerance: a plan whose simultaneous crashes exceed
+        ``n - k`` gets a WARNING line — it is unsurvivable (data loss)
+        for any file placed on the crashed servers.
+        """
+        lines = [f"t={getattr(f, 'start', 0.0):9.3f}  {f!r}"
+                 for f in self.faults]
+        if erasure is not None:
+            k, n = erasure
+            worst = self.max_simultaneous_crashes()
+            if worst > n - k:
+                lines.append(
+                    f"WARNING: up to {worst} simultaneous crashes exceed "
+                    f"the erasure tolerance n-k={n - k} (k={k}, n={n}); "
+                    f"this plan is unsurvivable — expect data loss")
+        return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Systematic k-of-n erasure code over GF(256) (Reed–Solomon, Cauchy).
+
+The durability tier stores each stripe group as ``k`` data shares plus
+``m = n - k`` parity shares on ``n`` distinct servers; any ``k``
+surviving shares reconstruct the group. Parity rows come from a Cauchy
+matrix — ``C[j][i] = 1 / (x_j ^ y_i)`` with ``x_j = k + j`` and
+``y_i = i`` — which is MDS for every ``k < n <= 256``, so no per-(k, n)
+invertibility checks are needed.
+
+Everything here is pure, allocation-deterministic Python on ``bytes``:
+scalar multiplication is a 256-entry ``bytes.translate`` table and GF
+addition is word-wide integer XOR, so encode/decode stay fast enough
+for the verification paths without touching numpy (the wire path must
+stay importable and bit-stable on any host).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import InvalidArgument
+
+__all__ = ["encode", "decode", "reconstruct_share", "max_shares"]
+
+#: GF(256) size limit: share indices are field elements.
+max_shares = 256
+
+# --- GF(256) tables (AES polynomial 0x11d), built once at import -------
+_EXP = [0] * 512
+_LOG = [0] * 256
+_x = 1
+for _i in range(255):
+    _EXP[_i] = _x
+    _LOG[_x] = _i
+    _x <<= 1
+    if _x & 0x100:
+        _x ^= 0x11D
+for _i in range(255, 512):
+    _EXP[_i] = _EXP[_i - 255]
+del _x, _i
+
+#: coefficient -> 256-byte translate table for c * v (built lazily; the
+#: working set is tiny — one entry per distinct matrix coefficient).
+_MUL_TABLES: Dict[int, bytes] = {}
+
+
+def _mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def _inv(a: int) -> int:
+    if a == 0:
+        raise InvalidArgument("GF(256) inverse of zero")
+    return _EXP[255 - _LOG[a]]
+
+
+def _scale(data: bytes, c: int) -> bytes:
+    """c * data, element-wise over GF(256)."""
+    if c == 0:
+        return bytes(len(data))
+    if c == 1:
+        return data
+    table = _MUL_TABLES.get(c)
+    if table is None:
+        table = bytes(_mul(c, v) for v in range(256))
+        _MUL_TABLES[c] = table
+    return data.translate(table)
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    """a + b over GF(256) (addition is XOR), word-wide via int."""
+    return (int.from_bytes(a, "little")
+            ^ int.from_bytes(b, "little")).to_bytes(len(a), "little")
+
+
+def _check_kn(k: int, n: int) -> None:
+    if not 1 <= k < n <= max_shares:
+        raise InvalidArgument(f"need 1 <= k < n <= {max_shares}: k={k} n={n}")
+
+
+def _row(k: int, n: int, share_index: int) -> List[int]:
+    """Generator-matrix row of one share: identity for data shares
+    (``share_index < k``), a Cauchy row for parity shares."""
+    if not 0 <= share_index < n:
+        raise InvalidArgument(
+            f"share index {share_index} outside [0, {n})")
+    if share_index < k:
+        return [1 if i == share_index else 0 for i in range(k)]
+    x = share_index  # k + j for parity row j = share_index - k
+    return [_inv(x ^ i) for i in range(k)]
+
+
+def _combine(row: Sequence[int], shares: Sequence[bytes]) -> bytes:
+    out = bytes(len(shares[0]))
+    for coeff, share in zip(row, shares):
+        if coeff:
+            out = _xor(out, _scale(share, coeff))
+    return out
+
+
+def encode(k: int, n: int, data_shares: Sequence[bytes]) -> List[bytes]:
+    """The ``n - k`` parity shares of *data_shares* (all equal length)."""
+    _check_kn(k, n)
+    if len(data_shares) != k:
+        raise InvalidArgument(
+            f"expected {k} data shares, got {len(data_shares)}")
+    length = len(data_shares[0])
+    if any(len(s) != length for s in data_shares):
+        raise InvalidArgument("data shares must be equal length")
+    return [_combine(_row(k, n, k + j), data_shares)
+            for j in range(n - k)]
+
+
+def decode(k: int, n: int, shares: Dict[int, bytes]) -> List[bytes]:
+    """The ``k`` data shares, reconstructed from any ``k`` of *shares*.
+
+    *shares* maps share index (``0..n-1``; data below ``k``, parity at
+    and above) to share content. Extra shares beyond ``k`` are ignored
+    (lowest indices win, so present data shares pass through verbatim).
+    """
+    _check_kn(k, n)
+    if len(shares) < k:
+        raise InvalidArgument(
+            f"need {k} shares to decode, got {len(shares)}")
+    use = sorted(shares)[:k]
+    if all(s < k for s in use) and use == list(range(k)):
+        return [shares[s] for s in use]
+    length = len(shares[use[0]])
+    if any(len(shares[s]) != length for s in use):
+        raise InvalidArgument("shares must be equal length")
+    # Invert the k x k sub-matrix of the rows we hold (Gauss-Jordan over
+    # GF(256)); the Cauchy construction guarantees it is non-singular.
+    matrix = [_row(k, n, s) for s in use]
+    inverse = [[1 if r == c else 0 for c in range(k)] for r in range(k)]
+    for col in range(k):
+        pivot = next(r for r in range(col, k) if matrix[r][col])
+        matrix[col], matrix[pivot] = matrix[pivot], matrix[col]
+        inverse[col], inverse[pivot] = inverse[pivot], inverse[col]
+        pinv = _inv(matrix[col][col])
+        matrix[col] = [_mul(v, pinv) for v in matrix[col]]
+        inverse[col] = [_mul(v, pinv) for v in inverse[col]]
+        for r in range(k):
+            if r == col or not matrix[r][col]:
+                continue
+            f = matrix[r][col]
+            matrix[r] = [a ^ _mul(f, b)
+                         for a, b in zip(matrix[r], matrix[col])]
+            inverse[r] = [a ^ _mul(f, b)
+                          for a, b in zip(inverse[r], inverse[col])]
+    held = [shares[s] for s in use]
+    return [_combine(inverse[i], held) for i in range(k)]
+
+
+def reconstruct_share(k: int, n: int, shares: Dict[int, bytes],
+                      share_index: int) -> bytes:
+    """Content of share *share_index* rebuilt from any ``k`` shares
+    (the repair path: one lost share, data or parity)."""
+    if share_index in shares:
+        return shares[share_index]
+    data = decode(k, n, shares)
+    if share_index < k:
+        return data[share_index]
+    return _combine(_row(k, n, share_index), data)

@@ -24,9 +24,19 @@ from ..errors import FSError
 from . import path as pathmod
 from .filesystem import ThemisFS
 from .metadata import FileType, Inode
-from .striping import StripeSpec
+from .striping import ErasureSpec, StripeSpec
 
 __all__ = ["NamespaceJournal", "JournalRecord", "JournaledFS"]
+
+
+def _spec_from(stripe_size: int, args: Dict[str, Any]):
+    """Reinstall the recorded layout: erasure iff ``erasure_k`` was
+    journaled, plain striping otherwise."""
+    servers = tuple(args["stripe_servers"])
+    k = args.get("erasure_k")
+    if k is not None:
+        return ErasureSpec(stripe_size, servers, k)
+    return StripeSpec(stripe_size, servers)
 
 
 @dataclass(frozen=True)
@@ -70,6 +80,8 @@ class NamespaceJournal:
                 }
                 if inode.stripe is not None:
                     entry["stripe_servers"] = list(inode.stripe.servers)
+                    if isinstance(inode.stripe, ErasureSpec):
+                        entry["erasure_k"] = inode.stripe.k
                 snapshot.append(entry)
         snapshot.sort(key=lambda e: (len(pathmod.components(e["path"])),
                                      e["path"]))
@@ -102,9 +114,11 @@ class JournaledFS(ThemisFS):
                uid: int = 0, ino: Optional[int] = None) -> Inode:
         inode = self._create_raw(path, stripe_count, uid, ino)
         if not self._replaying:
-            self.journal.log("create", path=inode.path, ino=inode.ino,
-                             uid=uid,
-                             stripe_servers=list(inode.stripe.servers))
+            args = {"path": inode.path, "ino": inode.ino, "uid": uid,
+                    "stripe_servers": list(inode.stripe.servers)}
+            if isinstance(inode.stripe, ErasureSpec):
+                args["erasure_k"] = inode.stripe.k
+            self.journal.log("create", **args)
         return inode
 
     def unlink(self, path: str) -> None:
@@ -133,6 +147,13 @@ class JournaledFS(ThemisFS):
         return self._logged_extend(
             path, super().write_accounting(path, offset, length),
             offset, length)
+
+    def restripe(self, path: str, old_server: str, new_server: str) -> None:
+        norm = pathmod.normalize(path)
+        super().restripe(norm, old_server, new_server)
+        if not self._replaying:
+            self.journal.log("restripe", path=norm, old=old_server,
+                             new=new_server)
 
     def _logged_extend(self, path: str, result: int, offset: int,
                        length: int) -> int:
@@ -202,9 +223,7 @@ class JournaledFS(ThemisFS):
                     else:
                         inode = self.create(entry["path"], uid=entry["uid"],
                                             ino=entry["ino"])
-                        inode.stripe = StripeSpec(
-                            self.stripe_size,
-                            tuple(entry["stripe_servers"]))
+                        inode.stripe = _spec_from(self.stripe_size, entry)
                         inode.size = entry["size"]
                     applied += 1
             for record in self.journal.records:
@@ -256,9 +275,7 @@ class JournaledFS(ThemisFS):
                     else:
                         inode = self.create(entry["path"], uid=entry["uid"],
                                             ino=entry["ino"])
-                        inode.stripe = StripeSpec(
-                            self.stripe_size,
-                            tuple(entry["stripe_servers"]))
+                        inode.stripe = _spec_from(self.stripe_size, entry)
                         inode.size = entry["size"]
                     applied += 1
             for record in self.journal.records:
@@ -282,8 +299,15 @@ class JournaledFS(ThemisFS):
             if not self.exists(args["path"]):
                 inode = self.create(args["path"], uid=args["uid"],
                                     ino=args["ino"])
-                inode.stripe = StripeSpec(self.stripe_size,
-                                          tuple(args["stripe_servers"]))
+                inode.stripe = _spec_from(self.stripe_size, args)
+        elif op == "restripe":
+            # Idempotent: node recovery replays against live metadata
+            # that may already reflect the swap.
+            inode = self.lookup(args["path"])
+            if (inode is not None
+                    and isinstance(inode.stripe, ErasureSpec)
+                    and args["old"] in inode.stripe.servers):
+                super().restripe(args["path"], args["old"], args["new"])
         elif op == "unlink":
             if self.exists(args["path"]):
                 super().unlink(args["path"])

@@ -10,10 +10,10 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..errors import FSError
-from .striping import StripeSpec
+from .striping import ErasureSpec, StripeSpec
 
 __all__ = ["FileType", "Inode", "Stat", "alloc_ino"]
 
@@ -48,7 +48,7 @@ class Inode:
     mtime: float = 0.0
     nlink: int = 1
     uid: int = 0
-    stripe: Optional[StripeSpec] = None
+    stripe: Optional[Union[StripeSpec, ErasureSpec]] = None
     entries: Optional[Dict[str, int]] = None
 
     def __post_init__(self):

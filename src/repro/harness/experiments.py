@@ -40,7 +40,8 @@ __all__ = [
     "InterferenceResult", "ScalingResult", "BaselineComparison",
     "LambdaResult", "CompositeResult", "ProvisioningResult",
     "AvailabilityResult", "availability_outage",
-    "sharing_cell", "fig07_cell", "fig14_cell",
+    "RepairFairnessResult", "repair_fairness", "REPAIR_POLICIES",
+    "sharing_cell", "fig07_cell", "fig14_cell", "repair_cell",
 ]
 
 #: background interference job of §5.5: one node of small write/read cycles.
@@ -838,3 +839,187 @@ def availability_outage(n_jobs: int = 3, n_servers: int = 2,
         jain_before=jain(settle, crash_at),
         jain_during=jain(crash_at + settle, restart_at),
         jain_after=jain(restart_at + settle, duration))
+
+
+# =====================================================================
+# Repair vs. fairness (the erasure tier's scheduling question)
+# =====================================================================
+
+#: metric key -> column header of the repair-vs-fairness matrix.
+_REPAIR_COLUMNS = (
+    ("fg_before", "fg before"),
+    ("fg_during", "fg during"),
+    ("slowdown", "slowdown"),
+    ("repair_completion_s", "repair s"),
+    ("repair_bytes", "repair B"),
+    ("groups_rebuilt", "rebuilt"),
+    ("data_lost_groups", "lost"),
+    ("degraded_reads", "deg reads"),
+    ("degraded_writes", "deg writes"),
+)
+
+
+@dataclass
+class RepairFairnessResult:
+    """Per-policy view of one crash-mid-burst repair run.
+
+    ``rows`` maps policy -> metric dict (the :func:`repair_cell` output):
+    foreground throughput before vs during the repair window, the
+    resulting slowdown factor, repair completion time (detection to the
+    last rebuilt share), repair traffic, and the loss/degradation
+    counters. ``data_lost_groups`` must be 0 for every policy — a single
+    crash is within the ``n - k`` tolerance.
+    """
+
+    policies: List[str]
+    rows: Dict[str, Dict[str, Optional[float]]]
+
+    def report(self) -> str:
+        """The policy x metric matrix, plus the starvation verdict."""
+        def fmt(key, value):
+            if value is None:
+                return "unfinished"
+            if key in ("fg_before", "fg_during"):
+                return fmt_bw(value)
+            if key == "slowdown":
+                return f"{value:.2f}x"
+            if key == "repair_completion_s":
+                return f"{value:.3f}s"
+            return str(int(value))
+
+        body = [tuple([policy] + [fmt(key, self.rows[policy].get(key))
+                                  for key, _ in _REPAIR_COLUMNS])
+                for policy in self.policies]
+        out = table(("policy",) + tuple(h for _, h in _REPAIR_COLUMNS),
+                    body, title="Repair vs. foreground fairness "
+                    "(one crash mid-burst)")
+        verdict = self.size_fair_verdict()
+        if verdict:
+            out += "\n" + verdict
+        return out
+
+    def size_fair_verdict(self) -> str:
+        """Does size-fair starve repair? Compare its repair completion
+        against the fastest policy's (repair runs as a size-1 job, so
+        size-fair hands it the smallest share of the burst)."""
+        done = {p: r["repair_completion_s"] for p, r in self.rows.items()
+                if r.get("repair_completion_s") is not None}
+        if "size-fair" not in self.rows or not done:
+            return ""
+        if "size-fair" not in done:
+            return ("size-fair verdict: repair did not finish within the "
+                    "run — size-fair starves the size-1 repair job.")
+        best = min(done.values())
+        mine = done["size-fair"]
+        ratio = mine / best if best > 0 else 1.0
+        if ratio > 2.0:
+            return (f"size-fair verdict: repair takes {ratio:.1f}x the "
+                    f"fastest policy's time — size-fair deprioritises "
+                    f"(but does not strictly starve) the size-1 repair job.")
+        return (f"size-fair verdict: no starvation — repair finishes in "
+                f"{mine:.3f}s, {ratio:.2f}x the fastest policy.")
+
+
+def repair_cell(config: Dict) -> Dict:
+    """One policy's crash-mid-burst repair run as a sweep cell.
+
+    Config keys: ``policy``, optional ``seed`` (0), ``n_jobs`` (3),
+    ``nodes`` (2), ``n_servers`` (7), ``k`` (3), ``n_shares`` (5),
+    ``duration`` (6.0), ``crash_at`` (2.0), ``crashed`` ("bb0").
+
+    The cluster runs the erasure tier with repair on; one data-share
+    server crashes mid-burst and never restarts, so foreground I/O runs
+    degraded (reconstructing reads, parity-overlay writes) while the
+    repair job rebuilds the lost shares under the policy's arbitration.
+    """
+    policy = str(config.get("policy", "job-fair"))
+    seed = int(config.get("seed", 0))
+    n_jobs = int(config.get("n_jobs", 3))
+    nodes = int(config.get("nodes", 2))
+    duration = float(config.get("duration", 6.0))
+    crash_at = float(config.get("crash_at", 2.0))
+    crashed = str(config.get("crashed", "bb0"))
+    timeout = 0.25
+    cfg = ExperimentConfig(
+        cluster=ClusterConfig(
+            n_servers=int(config.get("n_servers", 7)), policy=policy,
+            seed=seed,
+            erasure=(int(config.get("k", 3)),
+                     int(config.get("n_shares", 5))),
+            repair=True, repair_detect_interval=0.25,
+            client=ClientConfig(rpc_timeout=timeout, rpc_retries=-1),
+            server=ServerConfig(sync_timeout=0.5)),
+        jobs=[JobRun(spec=JobSpec(job_id=i + 1, user=f"u{i + 1}",
+                                  nodes=nodes),
+                     workload=WriteReadCycle(file_size=4 * MB,
+                                             streams_per_node=4),
+                     start=0.0, stop=duration) for i in range(n_jobs)],
+        max_time=duration + 1.0,
+        sample_interval=0.25,
+    )
+    plan = FaultPlan([ServerCrash(crashed, at=crash_at)])
+
+    def arm(cluster):
+        FaultInjector(cluster, plan).arm()
+
+    result = run_experiment(cfg, on_cluster=arm)
+    cluster = result.cluster
+    stats = cluster.fault_stats
+    repair = cluster.repair.summary()
+    finished = [e["finished_at"] for e in cluster.repair.episodes]
+    completion = (max(finished) - crash_at) if finished else None
+    job_ids = [run.spec.job_id for run in cfg.jobs]
+    settle = 2 * timeout
+
+    def fg(t0: float, t1: float) -> float:
+        return sum(result.window_throughput(t0, t1, j) for j in job_ids)
+
+    before = fg(settle, crash_at)
+    during = fg(crash_at + settle, duration)
+    return {
+        "fg_before": float(before),
+        "fg_during": float(during),
+        "slowdown": float(before / during) if during > 0 else None,
+        "repair_completion_s": (None if completion is None
+                                else float(completion)),
+        "repair_bytes": int(repair["repair_bytes"]),
+        "groups_repaired": int(repair["groups_repaired"]),
+        "groups_clean": int(repair["groups_clean"]),
+        "groups_rebuilt": int(repair["groups_repaired"]
+                              + repair["groups_clean"]),
+        "groups_lost": int(repair["groups_lost"]),
+        "io_failures": int(repair["io_failures"]),
+        "data_lost_groups": int(stats.data_lost_groups),
+        "degraded_reads": int(stats.degraded_reads),
+        "degraded_writes": int(stats.degraded_writes),
+        "shares_reconstructed": int(stats.shares_reconstructed),
+    }
+
+
+#: the policies the repair study compares (§5.4's ladder + FIFO floor).
+REPAIR_POLICIES = ("fifo", "job-fair", "size-fair", "gift", "tbf")
+
+
+def repair_fairness(policies: Sequence[str] = REPAIR_POLICIES,
+                    seed: int = 0, duration: float = 6.0,
+                    crash_at: float = 2.0, workspace=None, jobs: int = 1
+                    ) -> RepairFairnessResult:
+    """The repair-vs-fairness study: one crash mid-burst per policy.
+
+    Each policy runs as an independent sweep point (see
+    :func:`repair_cell`); ``workspace``/``jobs`` enable content-addressed
+    caching and parallel fan-out, exactly like :func:`fig14_lambda`.
+    Expected shape: every policy finishes repair with zero lost groups
+    (one crash is within ``n - k``); repair completion time varies with
+    how much bandwidth the policy hands the size-1 repair job while the
+    foreground burst runs degraded.
+    """
+    from .sweep import ParallelRunner
+    points = [("repair_cell", {"policy": str(p), "seed": int(seed),
+                               "duration": float(duration),
+                               "crash_at": float(crash_at)})
+              for p in policies]
+    run = ParallelRunner(workspace=workspace, jobs=jobs).run_points(points)
+    rows = {policy: outcome.result
+            for policy, outcome in zip(policies, run.points)}
+    return RepairFairnessResult(policies=list(policies), rows=rows)

@@ -61,6 +61,7 @@ POINT_KINDS: Dict[str, Tuple[str, str]] = {
     "sharing": ("repro.harness.experiments", "sharing_cell"),
     "fig07_cell": ("repro.harness.experiments", "fig07_cell"),
     "fig14_cell": ("repro.harness.experiments", "fig14_cell"),
+    "repair_cell": ("repro.harness.experiments", "repair_cell"),
     "bench_scale": ("repro.bench", "bench_scale_cell"),
     "bench_lambda_delta": ("repro.bench", "bench_lambda_delta_cell"),
 }

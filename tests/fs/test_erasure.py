@@ -1,0 +1,239 @@
+"""Erasure tier at the fs layer: the GF(256) codec, ErasureSpec
+placement, degraded reconstruction, group repair, and restripe — with
+the content-hash zero-loss guarantee checked over every survivable
+loss pattern."""
+
+import hashlib
+import itertools
+
+import pytest
+
+from repro.errors import InvalidArgument
+from repro.fs import erasure as ec
+from repro.fs.filesystem import ThemisFS
+from repro.fs.journal import JournaledFS
+from repro.fs.striping import (ErasureSpec, group_range, map_range,
+                               parity_spans)
+from repro.units import KiB, MiB
+
+
+def _pattern(seed: int, length: int) -> bytes:
+    return bytes((seed * 31 + i * 7 + (i >> 8)) % 256
+                 for i in range(length))
+
+
+class TestCodec:
+    def test_roundtrip_every_loss_pattern(self):
+        k, n = 3, 5
+        data = [_pattern(s, 2 * KiB) for s in range(k)]
+        shares = data + ec.encode(k, n, data)
+        for kept in itertools.combinations(range(n), k):
+            held = {i: shares[i] for i in kept}
+            assert ec.decode(k, n, held) == data, kept
+
+    def test_reconstruct_single_share(self):
+        k, n = 4, 6
+        data = [_pattern(s + 10, KiB) for s in range(k)]
+        shares = data + ec.encode(k, n, data)
+        for lost in range(n):
+            held = {i: s for i, s in enumerate(shares) if i != lost}
+            got = ec.reconstruct_share(k, n, held, lost)
+            assert got == shares[lost], lost
+
+    def test_identity_fast_path(self):
+        k, n = 2, 4
+        data = [_pattern(s, 512) for s in range(k)]
+        held = {0: data[0], 1: data[1]}
+        assert ec.decode(k, n, held) == data
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidArgument):
+            ec.encode(0, 3, [])
+        with pytest.raises(InvalidArgument):
+            ec.encode(3, 3, [b"x"] * 3)
+        with pytest.raises(InvalidArgument):
+            ec.encode(2, 4, [b"ab", b"abc"])  # unequal lengths
+        with pytest.raises(InvalidArgument):
+            ec.decode(2, 4, {0: b"ab"})  # fewer than k shares
+
+
+class TestErasureSpec:
+    def test_placement_is_distinct_per_group(self):
+        spec = ErasureSpec(stripe_size=MiB,
+                           servers=("a", "b", "c", "d", "e"), k=3)
+        for group in range(8):
+            placed = [spec.server_of_share(group, s)
+                      for s in range(spec.n)]
+            assert sorted(placed) == sorted(spec.servers), group
+
+    def test_share_of_server_inverts_placement(self):
+        spec = ErasureSpec(stripe_size=MiB,
+                           servers=("a", "b", "c", "d"), k=2)
+        for group in range(6):
+            for s in range(spec.n):
+                server = spec.server_of_share(group, s)
+                assert spec.share_of_server(group, server) == s
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgument):
+            ErasureSpec(stripe_size=MiB, servers=("a", "a", "b"), k=2)
+        with pytest.raises(InvalidArgument):
+            ErasureSpec(stripe_size=MiB, servers=("a", "b"), k=2)
+
+    def test_map_range_covers_data_shares_only(self):
+        spec = ErasureSpec(stripe_size=KiB,
+                           servers=("a", "b", "c", "d", "e"), k=3)
+        pieces = map_range(spec, 0, 3 * KiB)  # exactly one group of data
+        assert sum(p.length for p in pieces) == 3 * KiB
+        assert len({p.server for p in pieces}) == 3
+
+    def test_parity_spans_name_the_parity_servers(self):
+        spec = ErasureSpec(stripe_size=KiB,
+                           servers=("a", "b", "c", "d", "e"), k=3)
+        spans = parity_spans(spec, 0, 3 * KiB)
+        data_servers = {p.server for p in map_range(spec, 0, 3 * KiB)}
+        assert len(spans) == spec.n - spec.k
+        assert not (set(spans) & data_servers)
+        for _, (anchor, total, groups) in spans.items():
+            assert anchor == 0 and total == KiB and groups == (0,)
+
+    def test_group_range(self):
+        spec = ErasureSpec(stripe_size=KiB,
+                           servers=("a", "b", "c", "d", "e"), k=3)
+        touched = group_range(spec, 2 * KiB, 4 * KiB)
+        assert [g for g, _ in touched] == [0, 1]
+
+
+def _make_fs(cls=ThemisFS, n_servers=7, k=3, n=5, stripe=4 * KiB):
+    names = [f"s{i}" for i in range(n_servers)]
+    return cls(names, capacity_per_server=64 * MiB, stripe_size=stripe,
+               erasure=(k, n))
+
+
+class TestFilesystemErasure:
+    def test_zero_loss_for_every_survivable_crash_set(self):
+        """Acceptance: content hash identical through every <= n - k
+        server-loss combination."""
+        fs = _make_fs()
+        fs.makedirs("/fs")
+        data = _pattern(1, 40 * KiB)  # several groups, ragged tail
+        fs.create("/fs/f")
+        fs.write("/fs/f", 0, data)
+        want = hashlib.sha256(data).hexdigest()
+        spec = fs.lookup("/fs/f").stripe
+        for width in (1, 2):  # n - k == 2
+            for dead in itertools.combinations(spec.servers, width):
+                got, info = fs.read_reconstruct("/fs/f", 0, len(data),
+                                                set(dead))
+                assert hashlib.sha256(got).hexdigest() == want, dead
+                assert info["lost_bytes"] == 0, dead
+
+    def test_loss_beyond_tolerance_is_accounted_not_raised(self):
+        fs = _make_fs()
+        fs.makedirs("/fs")
+        data = _pattern(2, 12 * KiB)
+        fs.create("/fs/f")
+        fs.write("/fs/f", 0, data)
+        spec = fs.lookup("/fs/f").stripe
+        dead = set(spec.servers[:3])  # n - k + 1 servers gone
+        got, info = fs.read_reconstruct("/fs/f", 0, len(data), dead)
+        assert len(got) == len(data)
+        assert info["lost_bytes"] > 0
+        assert got != data  # zero-filled where the group was lost
+
+    def test_repair_group_outcomes(self):
+        fs = _make_fs()
+        fs.makedirs("/fs")
+        data = _pattern(3, 12 * KiB)  # one full group
+        fs.create("/fs/f")
+        fs.write("/fs/f", 0, data)
+        fs.create("/fs/hole")  # never written: every group is a hole
+        spec = fs.lookup("/fs/f").stripe
+        dead = spec.servers[0]
+        sub = next(s for s in (f"s{i}" for i in range(7))
+                   if s not in spec.servers)
+        outcome, moved = fs.repair_group("/fs/f", 0, dead, sub)
+        assert outcome == "repaired" and moved == 4 * KiB
+        hole_spec = fs.lookup("/fs/hole").stripe
+        hole_sub = next(s for s in (f"s{i}" for i in range(7))
+                        if s not in hole_spec.servers)
+        assert fs.repair_group("/fs/hole", 0, hole_spec.servers[0],
+                               hole_sub) == ("clean", 0)
+        outcome, _ = fs.repair_group(
+            "/fs/f", 0, dead, sub,
+            unavailable=set(spec.servers[1:3]))  # survivors < k
+        assert outcome == "lost"
+
+    def test_repair_then_restripe_restores_plain_reads(self):
+        fs = _make_fs()
+        fs.makedirs("/fs")
+        data = _pattern(4, 20 * KiB)
+        fs.create("/fs/f")
+        fs.write("/fs/f", 0, data)
+        spec = fs.lookup("/fs/f").stripe
+        dead = spec.servers[1]
+        sub = next(s for s in (f"s{i}" for i in range(7))
+                   if s not in spec.servers)
+        for group in range(spec.n_groups(len(data))):
+            outcome, _ = fs.repair_group("/fs/f", group, dead, sub)
+            assert outcome in ("repaired", "clean")
+        fs.restripe("/fs/f", dead, sub)
+        new_spec = fs.lookup("/fs/f").stripe
+        assert dead not in new_spec.servers and sub in new_spec.servers
+        assert fs.read("/fs/f", 0, len(data)) == data
+
+    def test_overlay_rebuild_covers_skipped_share(self):
+        """Parity built from an overlay reconstructs bytes a down data
+        server never stored (the degraded-write contract)."""
+        fs = _make_fs()
+        fs.makedirs("/fs")
+        data = _pattern(5, 12 * KiB)
+        fs.create("/fs/f")
+        spec = fs.lookup("/fs/f").stripe
+        down = {spec.server_of_share(0, 0)}  # first data share's server
+        # Store every piece except the down server's, as a degraded
+        # client write would, then overlay-rebuild the parity.
+        for piece in map_range(spec, 0, len(data)):
+            if piece.server in down:
+                continue
+            fs.write("/fs/f", piece.file_offset,
+                     data[piece.file_offset:piece.file_end])
+        fs.rebuild_parity("/fs/f", 0, overlay=(0, data),
+                          skip_servers=down)
+        got, info = fs.read_reconstruct("/fs/f", 0, len(data), down)
+        assert got == data
+        assert info["shares_reconstructed"] >= 1
+
+    def test_erasure_files_on_lists_only_placed_files(self):
+        fs = _make_fs()
+        fs.makedirs("/fs")
+        fs.create("/fs/a")
+        fs.create("/fs/b")
+        spec = fs.lookup("/fs/a").stripe
+        server = spec.servers[0]
+        assert "/fs/a" in fs.erasure_files_on(server)
+        outside = next(s for s in (f"s{i}" for i in range(7))
+                       if s not in spec.servers)
+        assert "/fs/a" not in fs.erasure_files_on(outside)
+
+
+class TestJournaledErasure:
+    def test_restripe_survives_recovery(self):
+        fs = _make_fs(cls=JournaledFS)
+        fs.makedirs("/fs")
+        data = _pattern(6, 12 * KiB)
+        fs.create("/fs/f")
+        fs.write("/fs/f", 0, data)
+        spec = fs.lookup("/fs/f").stripe
+        dead = spec.servers[0]
+        sub = next(s for s in (f"s{i}" for i in range(7))
+                   if s not in spec.servers)
+        for group in range(spec.n_groups(len(data))):
+            fs.repair_group("/fs/f", group, dead, sub)
+        fs.restripe("/fs/f", dead, sub)
+        fs.crash_node("s0")
+        fs.recover_node("s0")
+        recovered = fs.lookup("/fs/f").stripe
+        assert isinstance(recovered, ErasureSpec)
+        assert dead not in recovered.servers
+        assert sub in recovered.servers
