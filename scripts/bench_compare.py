@@ -79,9 +79,27 @@ def _sweep_cell(row: Optional[dict]) -> str:
         return "—"
     if "speedup" in row:
         return f"{row['speedup']:.2f}x"
+    if "root_in_bytes_per_epoch" in row:
+        # λ-sync cost ladder: the coordinator/root inbound gather bytes
+        # per epoch (the fan-in hotspot) plus the observed peak fan-in.
+        return (f"{row['root_in_bytes_per_epoch']:,} B/ep root-in, "
+                f"fan-in {row['max_fanin']}")
     if "delta_saved_frac" in row:
         return f"{row['delta_saved_frac']:.1%} saved"
     return "?"
+
+
+def _sweep_key(row: dict) -> Tuple:
+    """Row key within a ladder: population plus any layout variant.
+
+    Sync-ladder rows carry a ``mode`` (flat/tree, optionally with the
+    quiescence skip active), so the same cluster size appears once per
+    layout rather than the layouts overwriting each other.
+    """
+    tag = row.get("mode", "")
+    if tag and row.get("quiescent_skips"):
+        tag += "+skip"
+    return (row.get("population"), tag)
 
 
 def sweep_compare(current: dict, baseline: dict) -> List[str]:
@@ -95,11 +113,14 @@ def sweep_compare(current: dict, baseline: dict) -> List[str]:
     cur_sweep = current.get("sweep", {})
     base_sweep = baseline.get("sweep", {})
     for name in sorted(set(cur_sweep) | set(base_sweep)):
-        cur = {r.get("population"): r for r in cur_sweep.get(name, [])}
-        base = {r.get("population"): r for r in base_sweep.get(name, [])}
-        for n in sorted(set(cur) | set(base)):
-            rows.append(f"| {name} | {n} | {_sweep_cell(base.get(n))} | "
-                        f"{_sweep_cell(cur.get(n))} |")
+        cur = {_sweep_key(r): r for r in cur_sweep.get(name, [])}
+        base = {_sweep_key(r): r for r in base_sweep.get(name, [])}
+        for key in sorted(set(cur) | set(base),
+                          key=lambda k: (k[0] or 0, k[1])):
+            n, tag = key
+            label = f"{n} {tag}".rstrip()
+            rows.append(f"| {name} | {label} | {_sweep_cell(base.get(key))} | "
+                        f"{_sweep_cell(cur.get(key))} |")
     return rows
 
 

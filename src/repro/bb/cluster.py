@@ -186,3 +186,40 @@ class Cluster:
     def total_served_bytes(self) -> int:
         """Data bytes served across every server."""
         return sum(server.served_bytes for server in self.servers.values())
+
+    # ------------------------------------------------------------------ sync
+    def sync_digest_log(self) -> list:
+        """Merged-table digests per sync epoch, cluster-wide.
+
+        Each λ-sync epoch is driven by one rotating coordinator (flat)
+        or root (tree), which logs ``(epoch, digest)``; collecting and
+        sorting across servers yields the per-epoch digest sequence —
+        the flat and tree layouts must produce identical sequences for
+        the same workload (DESIGN.md §13).
+        """
+        log: list = []
+        for server in self.servers.values():
+            log.extend(server.controller.digest_log)
+        return sorted(log)
+
+    def sync_stats(self) -> Dict[str, int]:
+        """Cluster-wide λ-sync counters, plus the peak coordinator/root
+        inbound gather bytes per epoch-driving node (the fan-in hotspot
+        the aggregation tree exists to flatten)."""
+        totals = {
+            "sync_rounds": 0, "coordinated_rounds": 0, "tree_rounds": 0,
+            "degraded_rounds": 0, "delta_pushes": 0, "full_pushes": 0,
+            "gather_delta_replies": 0, "gather_full_replies": 0,
+            "quiescent_skips": 0, "quiescent_replies": 0,
+            "push_hash_skips": 0, "basis_mismatches": 0,
+            "full_resyncs": 0, "subtree_full_pushes": 0,
+            "coord_gather_payload_bytes": 0, "relay_gather_payload_bytes": 0,
+        }
+        max_fanin = 0
+        for server in self.servers.values():
+            ctl = server.controller
+            for key in totals:
+                totals[key] += getattr(ctl, key)
+            max_fanin = max(max_fanin, ctl.max_gather_fanin)
+        totals["max_gather_fanin"] = max_fanin
+        return totals

@@ -77,12 +77,31 @@ class ServerConfig:
     #: cluster-wide, content-hash skip on unchanged state); False runs
     #: the original per-pair exchange (N·(N-1) pairs per epoch).
     batched_sync: bool = True
+    #: branching factor of the hierarchical λ-sync aggregation tree
+    #: (DESIGN.md §13). 0 (default) keeps the flat batched round; k >= 2
+    #: arranges each epoch's members in a deterministic k-ary tree under
+    #: the rotating root, with interior nodes merging their subtree
+    #: before forwarding — peak per-node fan-in drops from N−1 to k and
+    #: the two layouts produce identical merged tables per epoch.
+    sync_tree_fanout: int = 0
+    #: skip the entire merge round when nothing changed cluster-wide:
+    #: the gather probes carry the last merged content hash, peers whose
+    #: state still hashes identically answer with a probe-sized "same",
+    #: and if everyone does the coordinator skips the merge and scatter
+    #: outright. Off by default — the skip changes wire traffic, so it
+    #: is not trace-neutral the way the delta encodings are.
+    sync_quiescence_skip: bool = False
 
     def __post_init__(self):
         if self.bandwidth <= 0 or self.n_workers < 1:
             raise ConfigError("bandwidth must be > 0 and n_workers >= 1")
         if self.op_latency < 0 or self.meta_latency < 0:
             raise ConfigError("latencies must be non-negative")
+        if self.sync_tree_fanout < 0 or self.sync_tree_fanout == 1:
+            raise ConfigError(
+                "sync_tree_fanout must be 0 (flat round) or >= 2")
+        if self.sync_tree_fanout and not self.batched_sync:
+            raise ConfigError("tree sync requires batched_sync=True")
 
 
 class Server:

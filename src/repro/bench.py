@@ -78,7 +78,8 @@ from .units import GB, KiB, MB, MiB
 
 __all__ = ["run_all", "run_and_write", "run_scale_sweep",
            "run_and_write_sweep", "git_rev", "main",
-           "bench_scale_cell", "bench_lambda_delta_cell"]
+           "bench_scale_cell", "bench_lambda_delta_cell",
+           "bench_sync_cell", "bench_sync_ladder"]
 
 
 class _Req:
@@ -362,6 +363,50 @@ def bench_lambda_sync_delta(n_servers: int = 16,
     }
 
 
+def bench_sync_ladder(n_servers: int = 16, mode: str = "flat",
+                      fanout: int = 8, epochs: int = 6,
+                      quiescence: bool = False) -> Dict:
+    """λ-sync cost of one cluster size under the flat vs tree layout.
+
+    Every server starts knowing the same 48 jobs (converged, churn-free
+    tables), so the measured traffic is the protocol's steady-state
+    floor. The reported numbers are sim-deterministic wire/fan-in
+    metrics, not host timings: ``root_in_bytes_per_epoch`` is the
+    gather payload absorbed by each epoch's driving node (the fan-in
+    hotspot — linear in N for the flat round, bounded by ``fanout``
+    times the table size for the tree), ``max_fanin`` the peak number
+    of gather replies any node awaited at once.
+    """
+    tree = mode == "tree"
+    cluster = Cluster(ClusterConfig(
+        n_servers=n_servers, policy="job-fair",
+        server=ServerConfig(bandwidth=1 * GB, n_workers=1,
+                            client_pool_workers=1,
+                            sync_tree_fanout=fanout if tree else 0,
+                            sync_quiescence_skip=quiescence)))
+    for server in cluster.servers.values():
+        for info in _jobs(48):
+            server.monitor.table.observe(info, 0.0)
+    interval = cluster.config.server.sync_interval
+    cluster.run(until=(epochs + 0.5) * interval)
+    stats = cluster.sync_stats()
+    driven = max(1, stats["coordinated_rounds"])
+    fabric = cluster.fabric
+    return {
+        "n_servers": n_servers,
+        "mode": mode,
+        "fanout": fanout if tree else 0,
+        "epochs": stats["coordinated_rounds"],
+        "root_in_bytes_per_epoch":
+            round(stats["coord_gather_payload_bytes"] / driven),
+        "payload_bytes_per_epoch":
+            round(fabric.payload_bytes_sent / driven),
+        "messages_per_epoch": round(fabric.messages_sent / driven),
+        "max_fanin": stats["max_gather_fanin"],
+        "quiescent_skips": stats["quiescent_skips"],
+    }
+
+
 def bench_contended_lock_fanout(n_waiters: int = 512,
                                 rounds: int = 4000) -> int:
     """One write-lock release against *n_waiters* parked range waiters.
@@ -578,6 +623,21 @@ def bench_scale_cell(config: Dict) -> Dict:
             "speedup": round(fast / exact, 2) if exact else 0.0}
 
 
+def bench_sync_cell(config: Dict) -> Dict:
+    """One (cluster size, layout) point of the sync-cost ladder (sweep
+    point kind ``bench_sync``). Sim-deterministic wire metrics — see
+    :func:`bench_sync_ladder`. Config keys: ``n_servers``, ``mode``
+    (``flat``/``tree``), optional ``fanout`` (8), ``epochs`` (6),
+    ``quiescence`` (False)."""
+    row = bench_sync_ladder(
+        n_servers=int(config["n_servers"]), mode=str(config["mode"]),
+        fanout=int(config.get("fanout", 8)),
+        epochs=int(config.get("epochs", 6)),
+        quiescence=bool(config.get("quiescence", False)))
+    row["population"] = row["n_servers"]
+    return row
+
+
 def bench_lambda_delta_cell(config: Dict) -> Dict:
     """One cluster-size point of the λ-sync delta sweep (sweep point
     kind ``bench_lambda_delta``). The reported wire bytes are
@@ -623,12 +683,30 @@ def run_scale_sweep(quick: bool = False, workspace=None, jobs: int = 1,
     for n_servers in ((4, 8) if quick else (4, 8, 16)):
         points.append(("bench_lambda_delta",
                        {"n_servers": n_servers, "epochs": 12}))
+    # Server-count ladder, flat vs tree (ISSUE 8): coordinator-inbound
+    # gather bytes per epoch stay ~linear in N for the flat round and
+    # go sublinear under the aggregation tree. Also sim-deterministic.
+    for n_servers in ((16, 64) if quick else (16, 64, 256, 1024)):
+        for mode in ("flat", "tree"):
+            points.append(("bench_sync",
+                           {"n_servers": n_servers, "mode": mode,
+                            "fanout": 8, "epochs": 4 if quick else 6}))
+    if not quick:
+        # One quiescent pair shows the whole-round skip collapsing the
+        # steady-state floor to probe-sized traffic.
+        for mode in ("flat", "tree"):
+            points.append(("bench_sync",
+                           {"n_servers": 64, "mode": mode, "fanout": 8,
+                            "epochs": 6, "quiescence": True}))
     run = ParallelRunner(workspace=workspace, jobs=jobs).run_points(
         points, rerun=rerun)
     sweep: Dict[str, list] = {}
     for outcome in run.points:
         if outcome.kind == "bench_scale":
             sweep.setdefault(outcome.config["kernel"],
+                             []).append(dict(outcome.result))
+        elif outcome.kind == "bench_sync":
+            sweep.setdefault("lambda_sync_ladder",
                              []).append(dict(outcome.result))
         else:
             sweep.setdefault("lambda_sync_delta",
@@ -663,6 +741,13 @@ def run_and_write_sweep(quick: bool = False, out: Optional[str] = None,
                       f"fast {row['fast_ops_per_s']:>12,.0f} ops/s  "
                       f"exact {row['exact_ops_per_s']:>12,.0f} ops/s  "
                       f"speedup {row['speedup']:.2f}x")
+            elif "root_in_bytes_per_epoch" in row:
+                tag = row["mode"] + ("+skip" if row.get("quiescent_skips")
+                                     else "")
+                print(f"  n={row['population']:>5}  {tag:<9s}  "
+                      f"root-in {row['root_in_bytes_per_epoch']:>10,} "
+                      f"B/epoch  total {row['payload_bytes_per_epoch']:>10,} "
+                      f"B/epoch  fan-in {row['max_fanin']}")
             else:
                 print(f"  n={row['population']:>5}  "
                       f"nominal {row['nominal_bytes']:>12,} B  "

@@ -64,6 +64,7 @@ POINT_KINDS: Dict[str, Tuple[str, str]] = {
     "repair_cell": ("repro.harness.experiments", "repair_cell"),
     "bench_scale": ("repro.bench", "bench_scale_cell"),
     "bench_lambda_delta": ("repro.bench", "bench_lambda_delta_cell"),
+    "bench_sync": ("repro.bench", "bench_sync_cell"),
 }
 
 
@@ -205,6 +206,14 @@ BUILTIN_GRIDS: Dict[str, SweepSpec] = {
         name="fig14", kind="fig14_cell",
         base={"seed": 0},
         axes={"lam": [0.010, 0.050, 0.200, 0.500]}),
+    # λ-sync server-count ladder, flat vs aggregation tree (the
+    # committed SWEEP artifact runs the full N=16→1024 version via
+    # `repro bench --scale-sweep`; this grid is the spec-file form).
+    "sync_ladder": SweepSpec(
+        name="sync_ladder", kind="bench_sync",
+        base={"fanout": 8, "epochs": 6},
+        axes={"mode": ["flat", "tree"],
+              "n_servers": [16, 64, 256]}),
 }
 
 

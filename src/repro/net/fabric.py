@@ -72,6 +72,11 @@ class Fabric:
         #: effective wire bytes after payload-level encodings (equals
         #: bytes_sent when no message sets Message.payload_bytes).
         self.payload_bytes_sent = 0
+        #: the same accounting broken down by destination node — the
+        #: per-node *inbound* view that exposes fan-in hotspots (the
+        #: λ-sync coordinator at large N) invisible in the totals.
+        self.payload_bytes_to: Dict[str, int] = {}
+        self.messages_to: Dict[str, int] = {}
         # Fault-injection hooks: both checks are falsy no-ops in a
         # healthy cluster, so the clean send path pays two branch tests.
         self._fault_filter: Optional[Callable[[Message], FaultVerdict]] = None
@@ -141,6 +146,8 @@ class Fabric:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.payload_bytes_sent = 0
+        self.payload_bytes_to.clear()
+        self.messages_to.clear()
         self.dropped_messages = 0
         self.delayed_messages = 0
 
@@ -158,9 +165,13 @@ class Fabric:
         dst = self.node(message.dst)
         self.messages_sent += 1
         self.bytes_sent += message.size
-        self.payload_bytes_sent += (
-            message.size if message.payload_bytes is None
-            else message.payload_bytes)
+        effective = (message.size if message.payload_bytes is None
+                     else message.payload_bytes)
+        self.payload_bytes_sent += effective
+        self.payload_bytes_to[message.dst] = (
+            self.payload_bytes_to.get(message.dst, 0) + effective)
+        self.messages_to[message.dst] = (
+            self.messages_to.get(message.dst, 0) + 1)
 
         delivered = Event(self.engine)
         if self._down and message.src in self._down:

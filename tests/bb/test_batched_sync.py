@@ -6,8 +6,10 @@ import numpy as np
 
 from repro.bb import Cluster, ClusterConfig, ServerConfig
 from repro.bb.controller import (set_sync_delta_enabled,
+                                 set_sync_gather_delta_enabled,
                                  set_sync_hash_skip_enabled,
                                  sync_delta_enabled,
+                                 sync_gather_delta_enabled,
                                  sync_hash_skip_enabled)
 from repro.core import JobInfo
 from repro.core import scheduler as schedmod
@@ -203,6 +205,7 @@ class TestAllTogglesEquivalence:
         (schedmod.set_sampled_dequeue_enabled,
          schedmod.sampled_dequeue_enabled),
         (set_sync_delta_enabled, sync_delta_enabled),
+        (set_sync_gather_delta_enabled, sync_gather_delta_enabled),
         (lockmod.set_range_wake_enabled, lockmod.range_wake_enabled),
         (giftmod.set_gift_quiescence_enabled,
          giftmod.gift_quiescence_enabled),

@@ -1,0 +1,288 @@
+"""Hierarchical λ-sync: the k-ary aggregation tree (DESIGN.md §13).
+
+The tree restructures the flat gather→merge→scatter epoch so per-node
+peak fan-in is bounded by the branching factor and the root's inbound
+gather bytes stop scaling with N, while merging exactly the same
+content per epoch — flat and tree must produce identical per-epoch
+digest sequences. Also covered here: the gather-direction per-peer
+basis deltas (useful to the flat round on their own) and the
+cluster-quiescence whole-round skip with its content-hash guard.
+"""
+
+import pytest
+
+from repro.bb import Cluster, ClusterConfig, ServerConfig
+from repro.bb.controller import (set_sync_delta_enabled,
+                                 set_sync_gather_delta_enabled,
+                                 subtree_height,
+                                 sync_gather_delta_enabled,
+                                 tree_children, tree_order)
+from repro.core import JobInfo
+from repro.errors import ConfigError
+from repro.units import GB, MB
+
+
+def _run_cluster(*, fanout=0, quiescence=False, seed=0, until=6.0,
+                 n_servers=3, n_jobs=4, writes=12):
+    cluster = Cluster(ClusterConfig(
+        n_servers=n_servers, policy="job-fair", seed=seed,
+        server=ServerConfig(bandwidth=1 * GB, n_workers=2,
+                            batched_sync=True,
+                            sync_tree_fanout=fanout,
+                            sync_quiescence_skip=quiescence)))
+    cluster.fs.makedirs("/fs/d")
+    engine = cluster.engine
+
+    def app(client, idx):
+        yield from client.register_all()
+        path = f"/fs/d/f{idx}"
+        yield from client.create(path)
+        for _ in range(writes):
+            yield from client.write(path, 0, 1 * MB)
+
+    for idx in range(n_jobs):
+        client = cluster.add_client(
+            JobInfo(job_id=idx + 1, user=f"u{idx % 2}", size=idx + 1))
+        engine.process(app(client, idx))
+    cluster.run(until=until)
+    return cluster
+
+
+def _sync_only_cluster(*, fanout=0, quiescence=False, n_servers=6,
+                       until=5.0, n_jobs=0):
+    # No clients: every fabric message is λ-sync traffic. Optional
+    # pre-seeded job entries make the snapshots non-trivial without
+    # introducing any timing interplay with client traffic.
+    cluster = Cluster(ClusterConfig(
+        n_servers=n_servers, policy="job-fair",
+        server=ServerConfig(bandwidth=1 * GB, n_workers=1,
+                            batched_sync=True,
+                            sync_tree_fanout=fanout,
+                            sync_quiescence_skip=quiescence)))
+    for j in range(n_jobs):
+        info = JobInfo(job_id=j + 1, user=f"u{j % 3}", size=j + 1)
+        server = list(cluster.servers.values())[j % n_servers]
+        server.monitor.table.observe(info, 0.0)
+    cluster.run(until=until)
+    return cluster
+
+
+def _trace(cluster):
+    s = cluster.sampler
+    return (list(zip(s._times, s._jobs, s._bytes, s._ops)),
+            cluster.engine.now, cluster.total_served_bytes())
+
+
+def _table_view(server):
+    return sorted((e["info"].job_id, e["last_heartbeat"], e["active"])
+                  for e in server.monitor.table.snapshot())
+
+
+@pytest.fixture(autouse=True)
+def _restore_toggles():
+    yield
+    set_sync_delta_enabled(True)
+    set_sync_gather_delta_enabled(True)
+
+
+class TestTreeShape:
+    def test_root_schedule_matches_flat_coordinator(self):
+        members = [f"bb{i}" for i in range(7)]
+        for epoch in range(20):
+            order = tree_order(members, epoch)
+            assert order[0] == members[epoch % 7]
+            assert sorted(order) == members
+
+    def test_children_partition_the_members(self):
+        for n in (1, 2, 5, 16, 37):
+            for fanout in (2, 3, 8):
+                seen = []
+                for pos in range(n):
+                    kids = tree_children(n, fanout, pos)
+                    assert len(kids) <= fanout
+                    seen.extend(kids)
+                # Every non-root position is the child of exactly one
+                # parent; the root (position 0) of none.
+                assert sorted(seen) == list(range(1, n))
+
+    def test_subtree_height(self):
+        assert subtree_height(1, 2, 0) == 0           # singleton
+        assert subtree_height(7, 2, 0) == 2           # full binary, 7
+        assert subtree_height(7, 2, 1) == 1
+        assert subtree_height(7, 2, 3) == 0           # leaf
+        assert subtree_height(9, 8, 0) == 1           # one level, k=8
+        assert subtree_height(73, 8, 0) == 2          # 1 + 8 + 64
+
+
+class TestConfigValidation:
+    def test_defaults_are_flat_and_no_skip(self):
+        cfg = ServerConfig()
+        assert cfg.sync_tree_fanout == 0
+        assert cfg.sync_quiescence_skip is False
+
+    def test_fanout_one_rejected(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(sync_tree_fanout=1)
+        with pytest.raises(ConfigError):
+            ServerConfig(sync_tree_fanout=-2)
+
+    def test_tree_requires_batched_sync(self):
+        with pytest.raises(ConfigError):
+            ServerConfig(sync_tree_fanout=4, batched_sync=False)
+
+
+class TestTreeConvergence:
+    def test_tree_converges_to_flat_merged_view(self):
+        flat = _run_cluster(fanout=0, n_servers=5)
+        tree = _run_cluster(fanout=2, n_servers=5)
+        for cluster in (flat, tree):
+            ids = [sorted(j.job_id for j in s.monitor.table.active_jobs())
+                   for s in cluster.servers.values()]
+            assert all(x == ids[0] for x in ids), ids
+        f_view = {j.job_id: (j.user, j.size)
+                  for j in next(iter(flat.servers.values()))
+                  .monitor.table.active_jobs()}
+        t_view = {j.job_id: (j.user, j.size)
+                  for j in next(iter(tree.servers.values()))
+                  .monitor.table.active_jobs()}
+        assert f_view == t_view
+        assert t_view  # the run actually registered jobs
+
+    def test_flat_and_tree_digest_logs_identical(self):
+        """The acceptance bar: per-epoch merged-table digests agree
+        between the two layouts on a deterministic workload."""
+        flat = _sync_only_cluster(fanout=0, n_servers=9, n_jobs=12)
+        tree = _sync_only_cluster(fanout=3, n_servers=9, n_jobs=12)
+        f_log = flat.sync_digest_log()
+        t_log = tree.sync_digest_log()
+        assert f_log
+        assert f_log == t_log
+
+    def test_root_rotates_across_servers(self):
+        cluster = _sync_only_cluster(fanout=2, n_servers=4, until=6.0)
+        for server in cluster.servers.values():
+            assert server.controller.coordinated_rounds > 0
+            assert server.controller.tree_rounds > 0
+
+
+class TestFanInAndRootBytes:
+    def test_fanin_bounded_by_branching_factor(self):
+        tree = _sync_only_cluster(fanout=3, n_servers=9, n_jobs=12)
+        flat = _sync_only_cluster(fanout=0, n_servers=9, n_jobs=12)
+        assert tree.sync_stats()["max_gather_fanin"] <= 3
+        assert flat.sync_stats()["max_gather_fanin"] == 8
+
+    def test_tree_cuts_root_inbound_bytes(self):
+        """ISSUE acceptance: the tree cuts the per-epoch root-inbound
+        gather bytes by at least 40% versus the flat round (measured
+        at N=32; the committed SWEEP ladder covers N=256/1024)."""
+        from repro.bench import bench_sync_ladder
+        flat = bench_sync_ladder(n_servers=32, mode="flat", epochs=4)
+        tree = bench_sync_ladder(n_servers=32, mode="tree", fanout=8,
+                                 epochs=4)
+        assert flat["max_fanin"] == 31
+        assert tree["max_fanin"] <= 8
+        assert (tree["root_in_bytes_per_epoch"]
+                <= 0.6 * flat["root_in_bytes_per_epoch"])
+
+
+class TestGatherDelta:
+    """Per-peer-basis delta replies in the gather direction — they pay
+    off for the flat round on their own (the tree merely reuses them
+    per edge)."""
+
+    def test_gather_delta_is_trace_neutral(self):
+        assert sync_gather_delta_enabled()
+        on = _trace(_run_cluster(seed=4, n_servers=4))
+        set_sync_gather_delta_enabled(False)
+        try:
+            off = _trace(_run_cluster(seed=4, n_servers=4))
+        finally:
+            set_sync_gather_delta_enabled(True)
+        assert on == off
+
+    def test_gather_delta_shrinks_flat_gather_payload(self):
+        # Stable entries are where the encoding pays: a live job's
+        # heartbeat advances every round (so its entry re-ships), but
+        # the pre-seeded idle entries re-confirm as 12-byte summaries
+        # instead of 64-byte snapshot rows.
+        def measure(flag):
+            set_sync_gather_delta_enabled(flag)
+            try:
+                c = _sync_only_cluster(fanout=0, n_servers=6, n_jobs=12)
+            finally:
+                set_sync_gather_delta_enabled(True)
+            stats = c.sync_stats()
+            return (c.fabric.bytes_sent, c.fabric.payload_bytes_sent,
+                    stats["gather_delta_replies"],
+                    stats["coord_gather_payload_bytes"])
+
+        size_on, payload_on, deltas_on, coord_on = measure(True)
+        size_off, payload_off, deltas_off, coord_off = measure(False)
+        assert deltas_on > 0 and deltas_off == 0
+        # Nominal (timing-bearing) traffic identical; effective payload
+        # and the coordinator's inbound gather bytes both shrink.
+        assert size_on == size_off
+        assert payload_on < payload_off
+        assert coord_on < coord_off
+
+    def test_gather_delta_fires_in_tree_mode_too(self):
+        cluster = _sync_only_cluster(fanout=2, n_servers=6, n_jobs=8)
+        assert cluster.sync_stats()["gather_delta_replies"] > 0
+
+    def test_tree_state_identical_gather_delta_on_off(self):
+        def run(flag):
+            set_sync_gather_delta_enabled(flag)
+            try:
+                return _sync_only_cluster(fanout=2, n_servers=6, n_jobs=8)
+            finally:
+                set_sync_gather_delta_enabled(True)
+
+        on, off = run(True), run(False)
+        for name in on.servers:
+            assert (_table_view(on.servers[name])
+                    == _table_view(off.servers[name])), name
+        assert on.sync_digest_log() == off.sync_digest_log()
+
+
+class TestQuiescenceSkip:
+    def test_idle_cluster_skips_whole_rounds(self):
+        for fanout in (0, 2):
+            cluster = _sync_only_cluster(fanout=fanout, quiescence=True,
+                                         n_servers=6, n_jobs=6, until=8.0)
+            stats = cluster.sync_stats()
+            assert stats["quiescent_skips"] > 0, fanout
+            assert stats["quiescent_replies"] > 0, fanout
+
+    def test_skip_off_by_default(self):
+        cluster = _sync_only_cluster(fanout=0, n_servers=4, n_jobs=4)
+        assert cluster.sync_stats()["quiescent_skips"] == 0
+
+    def test_digest_log_identical_skip_on_off(self):
+        # A skipped round logs the guarded qhash — by construction the
+        # digest the merge would have produced — so the per-epoch
+        # digest sequence is invariant under the skip.
+        on = _sync_only_cluster(fanout=0, quiescence=True,
+                                n_servers=5, n_jobs=6, until=8.0)
+        off = _sync_only_cluster(fanout=0, quiescence=False,
+                                 n_servers=5, n_jobs=6, until=8.0)
+        assert on.sync_stats()["quiescent_skips"] > 0
+        assert on.sync_digest_log() == off.sync_digest_log()
+        for name in on.servers:
+            assert (_table_view(on.servers[name])
+                    == _table_view(off.servers[name])), name
+
+    def test_content_hash_guard_voids_skip_on_local_change(self):
+        cluster = _sync_only_cluster(fanout=0, quiescence=True,
+                                     n_servers=4, n_jobs=4, until=5.0)
+        server = next(iter(cluster.servers.values()))
+        ctl = server.controller
+        qhash, pre_map = ctl._quiescence_state()
+        assert qhash is not None and pre_map
+        assert ctl._quiescent_match(qhash)
+        # Any local table change since the last merged digest must void
+        # the guard: a skip now would hide the new entry cluster-wide.
+        server.monitor.table.observe(
+            JobInfo(job_id=999, user="new", size=1), cluster.engine.now)
+        assert ctl._quiescence_state() == (None, None)
+        assert not ctl._quiescent_match(qhash)
