@@ -1,0 +1,138 @@
+"""Incremental lint cache: per-file findings + semantic summaries.
+
+Re-linting a 170-file tree to check a one-file change re-runs every
+per-file rule and re-extracts every semantic summary for no reason —
+both are pure functions of the file's bytes. This cache keys each
+file's artifacts by a content hash that also covers the linter's *own*
+source (any edit to ``repro.lint`` invalidates everything, so a rule
+change can never serve stale findings) and the summary schema version.
+
+Only the per-file stage is cached; waiver matching, baseline
+subtraction, and the whole-program rules always run live — waivers are
+cheap, and project findings depend on *other* files by design.
+
+Entries are self-contained JSON files under ``.lint_cache/`` (ignored
+by git). A corrupt or unreadable entry is treated as a miss, never an
+error: the cache can be deleted at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from .core import Finding, Severity
+from .graph import SCHEMA_VERSION, FileSummary
+
+__all__ = ["LintCache", "lint_code_hash", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".lint_cache"
+
+_code_hash: Optional[str] = None
+
+
+def lint_code_hash() -> str:
+    """Hash of every source file of the ``repro.lint`` package.
+
+    Computed once per process; folding it into every cache key makes
+    the cache self-invalidating across linter changes.
+    """
+    global _code_hash
+    if _code_hash is not None:
+        return _code_hash
+    digest = hashlib.blake2b(digest_size=16)
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    for dirpath, dirnames, filenames in os.walk(package_dir):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, name)
+            digest.update(os.path.relpath(full, package_dir).encode())
+            try:
+                with open(full, "rb") as fh:
+                    digest.update(fh.read())
+            except OSError:
+                digest.update(b"<unreadable>")
+    _code_hash = digest.hexdigest()
+    return _code_hash
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    return {"rule": finding.rule, "severity": finding.severity.value,
+            "path": finding.path, "line": finding.line,
+            "col": finding.col, "message": finding.message}
+
+
+def _finding_from_dict(raw: Dict[str, Any]) -> Finding:
+    return Finding(rule=raw["rule"], severity=Severity(raw["severity"]),
+                   path=raw["path"], line=raw["line"], col=raw["col"],
+                   message=raw["message"])
+
+
+class LintCache:
+    """Content-addressed store of one entry per (path, source) pair."""
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, path: str, source: str) -> str:
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(lint_code_hash().encode())
+        digest.update(str(SCHEMA_VERSION).encode())
+        digest.update(path.encode())
+        digest.update(b"\0")
+        digest.update(source.encode("utf-8", "surrogatepass"))
+        return os.path.join(self.directory, digest.hexdigest() + ".json")
+
+    def load(self, path: str,
+             source: str) -> Optional[Tuple[List[Finding],
+                                            Optional[FileSummary]]]:
+        """Cached ``(raw findings, summary)`` for *path*, or None."""
+        entry = self._entry_path(path, source)
+        try:
+            with open(entry, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        try:
+            findings = [_finding_from_dict(raw)
+                        for raw in payload["findings"]]
+            raw_summary = payload.get("summary")
+            summary = FileSummary.from_dict(raw_summary) \
+                if raw_summary is not None else None
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, summary
+
+    def store(self, path: str, source: str, findings: List[Finding],
+              summary: Optional[FileSummary]) -> None:
+        """Persist one file's artifacts; I/O failures are ignored."""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "path": path,
+            "findings": [_finding_to_dict(f) for f in findings],
+            "summary": summary.to_dict() if summary is not None else None,
+        }
+        entry = self._entry_path(path, source)
+        tmp = entry + ".tmp"
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, entry)
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass

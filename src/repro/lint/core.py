@@ -21,12 +21,33 @@ import ast
 import enum
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple, Type
+from typing import (TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple,
+                    Type)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .graph import ProjectIndex
 
 __all__ = [
-    "Severity", "Finding", "Module", "Rule", "register", "all_rules",
-    "rule_by_id", "line_fingerprint",
+    "Severity", "Finding", "Module", "Rule", "ProjectRule", "register",
+    "all_rules", "rule_by_id", "line_fingerprint", "dotted_name",
 ]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None.
+
+    Lives here (not in ``rules._util``) so the semantic model in
+    :mod:`repro.lint.graph` can use it without importing the rules
+    package, which imports the graph back.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
 
 
 class Severity(enum.Enum):
@@ -77,11 +98,18 @@ class Finding:
 
 @dataclass
 class Module:
-    """One parsed source file plus everything rules need to inspect it."""
+    """One parsed source file plus everything rules need to inspect it.
+
+    ``tree`` is ``None`` for a file restored from the incremental cache:
+    its per-file findings and semantic summary were loaded instead of
+    recomputed, so no AST exists. Per-file rules never see such a
+    module; baseline fingerprinting and waiver parsing only need
+    ``source``/``lines``.
+    """
 
     path: str            # path as given on the command line (for output)
     source: str
-    tree: ast.Module
+    tree: Optional[ast.Module]
     scope: str           # "src" | "tests" | "other", from the path
     lines: List[str] = field(default_factory=list)
 
@@ -132,6 +160,33 @@ class Rule:
                        line=getattr(node, "lineno", 1),
                        col=getattr(node, "col_offset", 0),
                        message=message)
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Project rules run once per lint invocation over the
+    :class:`~repro.lint.graph.ProjectIndex` (symbol table + call graph
+    assembled from every src-scope file) instead of once per file.
+    Findings are anchored in individual files as usual, so waivers and
+    the baseline apply unchanged. ``check`` is never called.
+    """
+
+    #: project rules only ever analyse production code; test files do
+    #: not participate in the protocol/reachability model at all.
+    scopes: Tuple[str, ...] = ("src",)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        """Yield every violation found in the whole-program *index*."""
+        raise NotImplementedError
+
+    def at(self, path: str, line: int, col: int, message: str) -> Finding:
+        """A finding of this rule at an explicit location."""
+        return Finding(rule=self.id, severity=self.severity, path=path,
+                       line=line, col=col, message=message)
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}

@@ -1,0 +1,96 @@
+"""Output renderers: SARIF 2.1.0 and GitHub workflow annotations.
+
+The default text format is rendered by the runner itself; these two
+exist for CI. SARIF feeds code-scanning upload (PR diff annotations
+with rule metadata); the github format prints ``::error``-style
+workflow commands that annotate the run without any upload step. Both
+render only *new* findings — baselined ones are accepted debt and
+would bury the signal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .core import Finding, Rule, Severity
+
+__all__ = ["to_sarif", "to_github", "FORMATS"]
+
+FORMATS = ("text", "sarif", "github")
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
+
+_SARIF_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning",
+                Severity.ADVISORY: "note"}
+
+_GH_COMMAND = {Severity.ERROR: "error", Severity.WARNING: "warning",
+               Severity.ADVISORY: "notice"}
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, Any]:
+    return {
+        "id": rule.id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": _SARIF_LEVEL[rule.severity]},
+    }
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule,
+        "level": _SARIF_LEVEL[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path.replace("\\", "/"),
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {
+                    "startLine": max(1, finding.line),
+                    # SARIF columns are 1-based; ast's are 0-based.
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }
+
+
+def to_sarif(findings: List[Finding], rules: List[Rule]) -> Dict[str, Any]:
+    """One SARIF 2.1.0 log for *findings*, carrying *rules* metadata."""
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro/DESIGN.md",
+                    "rules": [_rule_descriptor(rule) for rule in rules],
+                },
+            },
+            "results": [_result(finding) for finding in findings],
+        }],
+    }
+
+
+def to_github(findings: List[Finding]) -> List[str]:
+    """GitHub workflow-command annotation lines for *findings*."""
+    lines: List[str] = []
+    for finding in findings:
+        command = _GH_COMMAND[finding.severity]
+        # Workflow-command property values escape %, CR, LF, ',' and
+        # ':' per the actions toolkit; the message part only the first
+        # three.
+        message = (finding.message.replace("%", "%25")
+                   .replace("\r", "%0D").replace("\n", "%0A"))
+        path = (finding.path.replace("\\", "/").replace("%", "%25")
+                .replace(",", "%2C").replace(":", "%3A"))
+        lines.append(
+            f"::{command} file={path},line={max(1, finding.line)},"
+            f"col={finding.col + 1},title={finding.rule}::{message}")
+    return lines

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterator, List, Set, Union
+
+from ..core import dotted_name
 
 __all__ = [
     "FuncDef", "dotted_name", "import_aliases", "iter_functions",
@@ -11,18 +13,6 @@ __all__ = [
 ]
 
 FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
-
-
-def dotted_name(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for a Name/Attribute chain, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
 
 
 def import_aliases(tree: ast.Module, module: str) -> Set[str]:

@@ -1,15 +1,27 @@
-"""DET-class rules: violations of the same-seed => same-trace contract."""
+"""DET-class rules: violations of the same-seed => same-trace contract.
+
+DET001-005 are per-file pattern rules; DET006/DET007 are whole-program
+rules over the :class:`~repro.lint.graph.ProjectIndex` that catch the
+same hazards when they hide behind helper indirection.
+"""
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Set
+from typing import TYPE_CHECKING, Iterator, List, Set
 
-from ..core import Finding, Module, Rule, Severity, register
+from ..core import Finding, Module, ProjectRule, Rule, Severity, register
 from ._util import SetExprTracker, dotted_name, statements_in_order
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..graph import ProjectIndex
+
 __all__ = ["RawRandomRule", "AdHocNumpyRngRule", "WallClockRule",
-           "UnorderedIterationRule", "IdOrderingRule"]
+           "UnorderedIterationRule", "IdOrderingRule",
+           "LaunderedRngRule", "UnorderedEscapeRule"]
+
+#: module allowed to construct numpy generators (the registry itself).
+_RNG_EXEMPT_SUFFIX = "repro/sim/rng.py"
 
 
 @register
@@ -256,3 +268,117 @@ class IdOrderingRule(Rule):
                     yield self.finding(
                         module, node,
                         "hash(id(...)) is run-dependent; hash a stable key")
+
+
+@register
+class LaunderedRngRule(ProjectRule):
+    """DET006: an ad-hoc RNG laundered through helper indirection.
+
+    DET002 catches ``np.random.default_rng(...)`` spelled at the call
+    site; this rule catches the two ways the same second seeding root
+    hides from it: a module-level *alias* of a banned constructor
+    (``_mk = np.random.default_rng``; calling ``_mk`` looks innocent
+    per-file), and a helper that *returns* an ad-hoc generator so its
+    callers receive unregistered randomness N hops away. The
+    ``RngRegistry`` module itself stays exempt — wrappers that bottom
+    out in a named registry stream are the sanctioned pattern and are
+    not flagged.
+    """
+
+    id = "DET006"
+    severity = Severity.ERROR
+    title = "RNG construction laundered through helpers"
+    rationale = ("every generator must trace back to a named RngRegistry "
+                 "stream, even through aliases and wrapper functions")
+
+    def _exempt(self, index: "ProjectIndex", module: str) -> bool:
+        summary = index.files.get(module)
+        if summary is None:
+            return True
+        return summary.path.replace("\\", "/").endswith(_RNG_EXEMPT_SUFFIX)
+
+    def check_project(self,
+                      index: "ProjectIndex") -> Iterator[Finding]:
+        # Seed set: functions in non-exempt modules that return an
+        # ad-hoc generator directly (or via a module-level alias).
+        sources: Set[str] = set()
+        for qual in sorted(index.functions):
+            fn = index.functions[qual]
+            if fn.returns_rng and not self._exempt(
+                    index, qual.split(":", 1)[0]):
+                sources.add(qual)
+        # Propagate through return-value indirection to a fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for qual in sorted(index.functions):
+                if qual in sources:
+                    continue
+                fn = index.functions[qual]
+                for expr in fn.return_calls:
+                    target = index.resolve_call(fn, expr)
+                    if target in sources:
+                        sources.add(qual)
+                        changed = True
+                        break
+        for qual in sorted(index.functions):
+            fn = index.functions[qual]
+            module = qual.split(":", 1)[0]
+            if self._exempt(index, module):
+                continue
+            path = index.files[module].path
+            for line, col, alias in fn.rng_alias_calls:
+                yield self.at(
+                    path, line, col,
+                    f"call through '{alias}', a module-level alias of a "
+                    "banned numpy RNG constructor; draw from a named "
+                    "RngRegistry stream instead")
+            for expr in fn.return_calls:
+                target = index.resolve_call(fn, expr)
+                if target in sources:
+                    yield self.at(
+                        path, fn.line, fn.col,
+                        f"'{fn.name}' returns the ad-hoc RNG constructed "
+                        f"in '{target}'; thread a named RngRegistry "
+                        "stream through instead")
+                    break
+
+
+@register
+class UnorderedEscapeRule(ProjectRule):
+    """DET007: iterating a set returned across a function boundary.
+
+    DET004 sees ``for x in some_set`` inside one file; it cannot know
+    that ``monitor.active_local_jobs()`` three modules away returns a
+    set. This rule marks every function whose returns are set-valued
+    (literals, comprehensions, ``set()`` calls, or a ``-> set``
+    annotation) and flags call sites that iterate the result directly
+    in a for-loop or comprehension — the order then leaks into whatever
+    the loop schedules. ``sorted(...)`` at the call site silences it.
+    """
+
+    id = "DET007"
+    severity = Severity.ERROR
+    title = "unordered set escapes across function boundary"
+    rationale = ("a set-returning helper plus a bare for-loop at the "
+                 "caller reorders events across runs; sort at the "
+                 "iteration site")
+
+    def check_project(self,
+                      index: "ProjectIndex") -> Iterator[Finding]:
+        for qual in sorted(index.functions):
+            fn = index.functions[qual]
+            module = qual.split(":", 1)[0]
+            for call in fn.calls:
+                if not call.in_iter:
+                    continue
+                target = index.resolve_call(fn, call.expr)
+                if target is None:
+                    continue
+                callee = index.functions.get(target)
+                if callee is None or not callee.returns_set:
+                    continue
+                yield self.at(
+                    index.files[module].path, call.line, call.col,
+                    f"iterating the set returned by '{target}' in "
+                    "arbitrary order; wrap the call in sorted(...)")

@@ -1,23 +1,32 @@
 """File discovery, rule execution, reporting, and the CLI.
 
-``python -m repro lint [paths]`` walks the given files/directories,
-runs every registered rule, subtracts inline waivers and the committed
-baseline, and exits non-zero iff a *new* error- or warning-severity
-finding remains. ``--write-baseline`` grandfathers the current state;
-``--strict`` makes advisories fail too.
+``python -m repro lint [paths]`` walks the given files/directories and
+runs two passes: the per-file rules (cached by content hash in
+``.lint_cache/``), then the whole-program rules over a
+:class:`~repro.lint.graph.ProjectIndex` built from every src-scope
+file's semantic summary. Inline waivers and the committed baseline are
+subtracted at the end — project findings anchor in ordinary files, so
+both apply to them unchanged — and the run exits non-zero iff a *new*
+error- or warning-severity finding remains. ``--write-baseline``
+grandfathers the current state; ``--strict`` makes advisories fail
+too; ``--format sarif|github`` renders CI-consumable output.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
 import os
 import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .baseline import Baseline, BaselineError
-from .core import Finding, Module, Rule, Severity, all_rules
+from .cache import DEFAULT_CACHE_DIR, LintCache
+from .core import Finding, Module, ProjectRule, Rule, Severity, all_rules
+from .formats import FORMATS, to_github, to_sarif
+from .graph import FileSummary, ProjectIndex, summarize_module
 from .waivers import collect_waivers, stale_waiver_findings
 
 __all__ = ["LintResult", "lint_paths", "lint_source", "main",
@@ -26,11 +35,16 @@ __all__ = ["LintResult", "lint_paths", "lint_source", "main",
 DEFAULT_BASELINE = "LINT_BASELINE.json"
 
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules", ".mypy_cache",
-              ".ruff_cache"}
+              ".ruff_cache", ".lint_cache", "fixtures"}
 
 
 def _discover(paths: Sequence[str]) -> List[str]:
-    """All .py files under *paths* (files kept as-is), sorted."""
+    """All .py files under *paths* (files kept as-is), sorted.
+
+    Directories named ``fixtures`` are skipped during the walk: they
+    hold deliberately-broken lint test beds. Passing a fixture
+    directory *explicitly* still works — only the descent skips them.
+    """
     found: List[str] = []
     for path in paths:
         if os.path.isfile(path):
@@ -63,6 +77,8 @@ class LintResult:
     baselined: List[Finding] = field(default_factory=list)
     waived_count: int = 0
     modules: Dict[str, Module] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def failures(self, strict: bool = False) -> List[Finding]:
         """New findings that fail the run (advisories only when *strict*)."""
@@ -86,31 +102,37 @@ def _parse_module(path: str, source: str) -> Tuple[Optional[Module],
                   scope=path_scope(path)), None
 
 
-def _run_rules(module: Module, rules: Sequence[Rule]) -> List[Finding]:
-    findings: List[Finding] = []
-    waivers, waiver_problems = collect_waivers(module)
-    findings.extend(waiver_problems)
-    raw: List[Finding] = []
-    for rule in rules:
-        if rule.applies_to(module):
-            raw.extend(rule.check(module))
-    kept = [f for f in raw if not waivers.suppresses(f)]
-    module.waived = len(raw) - len(kept)  # type: ignore[attr-defined]
-    findings.extend(kept)
-    findings.extend(stale_waiver_findings(module, waivers))
-    return findings
+def _split_rules(rules: Sequence[Rule]) -> Tuple[List[Rule],
+                                                 List[ProjectRule]]:
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    return file_rules, project_rules
 
 
 def lint_paths(paths: Sequence[str],
                baseline: Optional[Baseline] = None,
-               select: Optional[Sequence[str]] = None) -> LintResult:
-    """Lint every file under *paths* against the registered rules."""
+               select: Optional[Sequence[str]] = None,
+               cache: Optional[LintCache] = None) -> LintResult:
+    """Lint every file under *paths* against the registered rules.
+
+    Pass 1 runs the per-file rules and extracts each src-scope file's
+    semantic summary (both served from *cache* when the content hash
+    matches); pass 2 assembles the :class:`ProjectIndex` and runs the
+    whole-program rules. Waivers, LINT001/002 meta-findings, and the
+    baseline split happen after both passes so they see every finding.
+    """
     rules = all_rules()
     if select:
         wanted = set(select)
         rules = [r for r in rules if r.id in wanted]
+        cache = None    # cached artifacts always carry the full rule set
+    file_rules, project_rules = _split_rules(rules)
+
     result = LintResult()
     findings: List[Finding] = []
+    raw_by_path: Dict[str, List[Finding]] = {}
+    summaries: List[FileSummary] = []
+
     for path in _discover(paths):
         rel = os.path.relpath(path).replace("\\", "/")
         try:
@@ -121,14 +143,50 @@ def lint_paths(paths: Sequence[str],
                 rule="LINT000", severity=Severity.ERROR, path=rel,
                 line=1, col=0, message=f"cannot read file: {exc}"))
             continue
-        module, parse_error = _parse_module(rel, source)
-        if parse_error is not None:
-            findings.append(parse_error)
-            continue
-        assert module is not None
+        scope = path_scope(rel)
+        cached = cache.load(rel, source) if cache is not None else None
+        if cached is not None:
+            raw, summary = cached
+            module = Module(path=rel, source=source, tree=None, scope=scope)
+        else:
+            module, parse_error = _parse_module(rel, source)
+            if parse_error is not None:
+                findings.append(parse_error)
+                continue
+            assert module is not None
+            raw = []
+            for rule in file_rules:
+                if rule.applies_to(module):
+                    raw.extend(rule.check(module))
+            summary = summarize_module(module) if scope == "src" else None
+            if cache is not None:
+                cache.store(rel, source, raw, summary)
         result.modules[rel] = module
-        findings.extend(_run_rules(module, rules))
-        result.waived_count += getattr(module, "waived", 0)
+        raw_by_path[rel] = raw
+        if summary is not None and scope == "src":
+            summaries.append(summary)
+    if cache is not None:
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+
+    # ---- whole-program pass ------------------------------------------
+    if project_rules and summaries:
+        index = ProjectIndex(summaries)
+        for project_rule in project_rules:
+            for finding in project_rule.check_project(index):
+                raw_by_path.setdefault(finding.path, []).append(finding)
+
+    # ---- waivers + meta-findings -------------------------------------
+    for rel in sorted(result.modules):
+        module = result.modules[rel]
+        waivers, waiver_problems = collect_waivers(module)
+        findings.extend(waiver_problems)
+        raw = raw_by_path.get(rel, [])
+        kept = [f for f in raw if not waivers.suppresses(f)]
+        result.waived_count += len(raw) - len(kept)
+        findings.extend(kept)
+        findings.extend(stale_waiver_findings(module, waivers))
+
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     baseline = baseline or Baseline()
     result.new, result.baselined = baseline.split(findings, result.modules)
@@ -136,10 +194,13 @@ def lint_paths(paths: Sequence[str],
 
 
 def lint_source(source: str, path: str = "src/repro/snippet.py",
-                select: Optional[Sequence[str]] = None) -> List[Finding]:
+                select: Optional[Sequence[str]] = None,
+                project: bool = False) -> List[Finding]:
     """Lint one in-memory snippet (the unit-test entry point).
 
     *path* controls rule scoping ("src" vs "tests") and exemptions.
+    With ``project=True`` the whole-program rules also run, over an
+    index containing just this one module.
     """
     module, parse_error = _parse_module(path, source)
     if parse_error is not None:
@@ -149,7 +210,21 @@ def lint_source(source: str, path: str = "src/repro/snippet.py",
     if select:
         wanted = set(select)
         rules = [r for r in rules if r.id in wanted]
-    findings = _run_rules(module, rules)
+    file_rules, project_rules = _split_rules(rules)
+
+    waivers, waiver_problems = collect_waivers(module)
+    findings: List[Finding] = list(waiver_problems)
+    raw: List[Finding] = []
+    for rule in file_rules:
+        if rule.applies_to(module):
+            raw.extend(rule.check(module))
+    if project and project_rules and module.scope == "src":
+        assert module.tree is not None
+        index = ProjectIndex([summarize_module(module)])
+        for project_rule in project_rules:
+            raw.extend(project_rule.check_project(index))
+    findings.extend(f for f in raw if not waivers.suppresses(f))
+    findings.extend(stale_waiver_findings(module, waivers))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -157,16 +232,44 @@ def lint_source(source: str, path: str = "src/repro/snippet.py",
 def _print_catalogue() -> None:
     for rule in all_rules():
         scopes = ",".join(rule.scopes)
-        print(f"{rule.id}  [{rule.severity.value:8s}] ({scopes}) "
+        kind = "project" if isinstance(rule, ProjectRule) else "file"
+        print(f"{rule.id}  [{rule.severity.value:8s}] ({scopes}; {kind}) "
               f"{rule.title}")
         print(f"        {rule.rationale}")
+
+
+def _render(args: "argparse.Namespace", result: LintResult,
+            rules: List[Rule]) -> str:
+    """The full report in the requested format."""
+    if args.format == "sarif":
+        return json.dumps(to_sarif(result.new, rules), indent=2,
+                          sort_keys=True) + "\n"
+    lines: List[str] = []
+    if args.format == "github":
+        lines.extend(to_github(result.new))
+    else:
+        lines.extend(f.render() for f in result.new)
+        lines.extend(f"{f.render()}  [baselined]" for f in result.baselined)
+    errors = sum(1 for f in result.new if f.severity is Severity.ERROR)
+    warnings = sum(1 for f in result.new if f.severity is Severity.WARNING)
+    advisories = sum(1 for f in result.new
+                     if f.severity is Severity.ADVISORY)
+    cache_note = ""
+    if result.cache_hits or result.cache_misses:
+        cache_note = (f", cache {result.cache_hits}/"
+                      f"{result.cache_hits + result.cache_misses} hits")
+    lines.append(f"{len(result.modules)} files: {errors} errors, "
+                 f"{warnings} warnings, {advisories} advisories "
+                 f"({len(result.baselined)} baselined, "
+                 f"{result.waived_count} waived{cache_note})")
+    return "\n".join(lines) + "\n"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point for ``python -m repro lint``; returns exit code."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="AST-based determinism & sim-safety analyzer "
+        description="AST + whole-program determinism & protocol analyzer "
                     "(same seed => same trace, enforced statically).")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
@@ -181,6 +284,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="comma-separated rule ids to run")
     parser.add_argument("--strict", action="store_true",
                         help="advisories also fail the run")
+    parser.add_argument("--format", choices=FORMATS, default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--output", default=None,
+                        help="write the report to this file instead of "
+                             "stdout")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental per-file cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="cache directory (default: "
+                             f"{DEFAULT_CACHE_DIR})")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     args = parser.parse_args(argv)
@@ -201,8 +314,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     select = [s.strip() for s in args.select.split(",")] if args.select \
         else None
+    cache = None if args.no_cache else LintCache(args.cache_dir)
     paths = args.paths or ["src"]
-    result = lint_paths(paths, baseline=baseline, select=select)
+    result = lint_paths(paths, baseline=baseline, select=select,
+                        cache=cache)
 
     if args.write_baseline:
         out = args.baseline or DEFAULT_BASELINE
@@ -212,19 +327,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"wrote {out} ({len(all_findings)} grandfathered findings)")
         return 0
 
-    for finding in result.new:
-        print(finding.render())
-    for finding in result.baselined:
-        print(f"{finding.render()}  [baselined]")
+    report = _render(args, result, all_rules())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        if args.format != "text":
+            # still give the terminal the one-line verdict
+            print(report.rstrip("\n").splitlines()[-1]
+                  if args.format == "github" else
+                  f"wrote {args.format} report to {args.output}")
+    else:
+        sys.stdout.write(report)
 
-    errors = sum(1 for f in result.new if f.severity is Severity.ERROR)
-    warnings = sum(1 for f in result.new if f.severity is Severity.WARNING)
-    advisories = sum(1 for f in result.new
-                     if f.severity is Severity.ADVISORY)
-    print(f"{len(result.modules)} files: {errors} errors, "
-          f"{warnings} warnings, {advisories} advisories "
-          f"({len(result.baselined)} baselined, "
-          f"{result.waived_count} waived)")
     failures = result.failures(strict=args.strict)
     return 1 if failures else 0
 

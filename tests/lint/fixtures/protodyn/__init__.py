@@ -1,0 +1,1 @@
+"""Dynamic dispatch surface that must produce zero PROTO findings."""

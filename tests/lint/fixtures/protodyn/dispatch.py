@@ -1,0 +1,31 @@
+"""Documented non-finding: dynamic kinds and ``getattr`` dispatch.
+
+The kind is computed at runtime and the handler is resolved by name,
+so the analyzer cannot know the vocabulary. Conservative-for-silence
+means NO PROTO rule may fire here: a dynamic kind send suppresses
+PROTO102 globally, a ``<dynamic>`` kind is never reported as
+unhandled, and an unrecognised dispatcher contributes no branches.
+"""
+
+
+class Router:
+    KINDS = ("alpha", "beta")
+
+    def __init__(self, rpc):
+        self.rpc = rpc
+
+    def send(self, which, host):
+        kind = self.KINDS[which]
+        return self.rpc.call("sync", {"kind": kind, "host": host})
+
+    def handle(self, rpc):
+        target = getattr(self, "on_" + rpc.body["kind"], None)
+        if target is not None:
+            return target(rpc.body)
+        return None
+
+    def on_alpha(self, body):
+        return body["host"]
+
+    def on_beta(self, body):
+        return -body["host"]

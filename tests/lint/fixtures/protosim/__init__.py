@@ -1,0 +1,1 @@
+"""Two-module RPC vocabulary with three seeded protocol defects."""

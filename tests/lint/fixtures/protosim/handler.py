@@ -1,0 +1,25 @@
+"""Receive side of the toy sync protocol.
+
+Seeded defects (see sender.py for the send side):
+
+* the ``stale`` branch is dead — no send site produces that kind
+  -> PROTO102;
+* the ``pull`` branch requires ``have``, which the send omits
+  -> PROTO103.
+"""
+
+
+class Hub:
+    def handle_sync(self, rpc):
+        kind = rpc.body.get("kind")
+        if kind == "pull":
+            return self._answer(rpc.body["host"], rpc.body["have"])
+        elif kind == "stale":
+            return self._expire(rpc.body["host"])
+        return None
+
+    def _answer(self, host, have):
+        return {"host": host, "have": have}
+
+    def _expire(self, host):
+        return {"host": host}

@@ -1,0 +1,19 @@
+"""Send side of the toy sync protocol.
+
+Seeded defects (see handler.py for the receive side):
+
+* the ``zap`` send has no dispatcher branch anywhere -> PROTO101;
+* the ``pull`` send carries only ``kind``/``host`` while the handler
+  branch also requires ``have`` -> PROTO103 (anchored at the branch).
+"""
+
+
+class Peer:
+    def __init__(self, rpc):
+        self.rpc = rpc
+
+    def probe(self, host):
+        return self.rpc.call("sync", {"kind": "pull", "host": host})
+
+    def zap(self, host):
+        return self.rpc.call("sync", {"kind": "zap", "host": host})

@@ -1,0 +1,1 @@
+"""RNG laundering across two helper hops and three modules."""

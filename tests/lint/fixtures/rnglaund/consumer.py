@@ -1,0 +1,8 @@
+"""Hop 2: the draw site — two hops from the construction."""
+
+from .middle import stream_for
+
+
+def draw(seed):
+    rng = stream_for(seed)
+    return rng.random()

@@ -1,0 +1,7 @@
+"""Hop 0: constructs the ad-hoc generator (DET002 catches this file)."""
+
+import numpy as np
+
+
+def fresh_rng(seed):
+    return np.random.default_rng(seed)

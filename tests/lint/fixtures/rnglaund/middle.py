@@ -1,0 +1,11 @@
+"""Hop 1: forwards the generator — per-file rules see nothing wrong.
+
+DET006 anchors here: ``stream_for`` returns the RNG constructed in
+``maker.fresh_rng`` instead of a named RngRegistry stream.
+"""
+
+from .maker import fresh_rng
+
+
+def stream_for(seed):
+    return fresh_rng(seed)

@@ -1,0 +1,1 @@
+"""Set-iteration order escaping across a module boundary."""

@@ -1,0 +1,18 @@
+"""Iterating the imported set helper.
+
+``apply_all`` iterates the returned set bare -> DET007.
+``apply_sorted`` is the documented non-finding: ``sorted(...)`` fixes
+the order, so the rule must stay silent.
+"""
+
+from .helper import changed_keys
+
+
+def apply_all(old, new, visit):
+    for key in changed_keys(old, new):
+        visit(key)
+
+
+def apply_sorted(old, new, visit):
+    for key in sorted(changed_keys(old, new)):
+        visit(key)

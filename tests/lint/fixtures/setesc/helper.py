@@ -1,0 +1,5 @@
+"""The set factory — fine on its own; hazard is at the caller."""
+
+
+def changed_keys(old, new):
+    return set(old) | set(new)

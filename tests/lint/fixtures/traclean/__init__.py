@@ -1,0 +1,1 @@
+"""Toggle trace-purity fixtures: one violation, one rogue writer."""

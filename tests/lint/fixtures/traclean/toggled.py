@@ -1,0 +1,54 @@
+"""A perf toggle that leaks into trace-bearing state.
+
+Seeded defects:
+
+* ``Table.ingest`` mutates ``_entries`` (a registered trace-bearing
+  attribute) only when the toggle is on -> TRACE101;
+* ``rogue_disable`` rebinds the flag without being its ``set_*``
+  setter -> TRACE102.
+
+``Table.lookup`` is the documented non-finding: the enabled path only
+bumps a perf counter (not trace-bearing) and *skips* work, which the
+trace-purity contract allows.
+"""
+
+_COALESCE_ENABLED = False
+
+
+def set_coalesce_enabled(value):
+    global _COALESCE_ENABLED
+    _COALESCE_ENABLED = bool(value)
+
+
+def coalesce_enabled():
+    return _COALESCE_ENABLED
+
+
+def rogue_disable():
+    global _COALESCE_ENABLED
+    _COALESCE_ENABLED = False
+
+
+class Table:
+    def __init__(self):
+        self._entries = []
+        self._memo = {}
+        self.hits = 0
+
+    def ingest(self, item):
+        if _COALESCE_ENABLED:
+            self._entries.append(item)
+            return
+        self.deliver(item)
+
+    def lookup(self, key):
+        if _COALESCE_ENABLED and key in self._memo:
+            self.hits += 1
+            return self._memo[key]
+        return self.compute(key)
+
+    def deliver(self, item):
+        return item
+
+    def compute(self, key):
+        return key

@@ -1,0 +1,114 @@
+"""The incremental cache: hits, invalidation, and identical results."""
+
+import json
+import textwrap
+
+from repro.lint.cache import LintCache
+from repro.lint.runner import lint_paths, main
+
+
+def write_tree(root):
+    pkg = root / "src" / "demo"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "clean.py").write_text(textwrap.dedent("""
+        def double(x):
+            return 2 * x
+    """))
+    (pkg / "hazard.py").write_text(textwrap.dedent("""
+        import numpy as np
+
+        def bad():
+            return np.random.default_rng(0).random()
+    """))
+    return root / "src"
+
+
+def test_second_run_is_all_hits_with_identical_findings(tmp_path):
+    src = write_tree(tmp_path)
+    cache_dir = str(tmp_path / ".lint_cache")
+
+    cold = LintCache(cache_dir)
+    first = lint_paths([str(src)], cache=cold)
+    assert cold.hits == 0 and cold.misses == len(first.modules)
+
+    warm = LintCache(cache_dir)
+    second = lint_paths([str(src)], cache=warm)
+    assert warm.misses == 0 and warm.hits == len(second.modules)
+
+    render = lambda r: sorted(f.render() for f in r.new)  # noqa: E731
+    assert render(first) == render(second)
+    # the hazard is found both cold and warm
+    assert any(f.rule == "DET002" for f in second.new)
+
+
+def test_edited_file_misses_and_unchanged_files_hit(tmp_path):
+    src = write_tree(tmp_path)
+    cache_dir = str(tmp_path / ".lint_cache")
+    lint_paths([str(src)], cache=LintCache(cache_dir))
+
+    (src / "demo" / "clean.py").write_text("def triple(x):\n"
+                                           "    return 3 * x\n")
+    warm = LintCache(cache_dir)
+    result = lint_paths([str(src)], cache=warm)
+    assert warm.misses == 1
+    assert warm.hits == len(result.modules) - 1
+
+
+def test_project_rules_see_cache_restored_summaries(tmp_path):
+    """The whole-program pass must work even when every per-file
+    artifact comes from the cache (modules have no AST then)."""
+    pkg = tmp_path / "src" / "toy"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "wire.py").write_text(textwrap.dedent("""
+        class Peer:
+            def send(self, rpc, host):
+                rpc.call("sync", {"kind": "orphan", "host": host})
+
+        class Hub:
+            def handle(self, rpc):
+                kind = rpc.body.get("kind")
+                if kind == "known":
+                    return rpc.body["host"]
+                return None
+    """))
+    cache_dir = str(tmp_path / ".lint_cache")
+    cold = lint_paths([str(tmp_path / "src")], cache=LintCache(cache_dir))
+    warm = lint_paths([str(tmp_path / "src")], cache=LintCache(cache_dir))
+    for result in (cold, warm):
+        rules = {f.rule for f in result.new}
+        assert "PROTO101" in rules and "PROTO102" in rules
+    assert sorted(f.render() for f in cold.new) == \
+        sorted(f.render() for f in warm.new)
+
+
+def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
+    src = write_tree(tmp_path)
+    cache_dir = tmp_path / ".lint_cache"
+    lint_paths([str(src)], cache=LintCache(str(cache_dir)))
+    for entry in cache_dir.glob("*.json"):
+        entry.write_text("{not json")
+    warm = LintCache(str(cache_dir))
+    result = lint_paths([str(src)], cache=warm)
+    assert warm.hits == 0 and warm.misses == len(result.modules)
+    assert any(f.rule == "DET002" for f in result.new)
+
+
+def test_cli_no_cache_leaves_no_cache_dir(tmp_path, monkeypatch):
+    src = write_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    code = main([str(src), "--no-baseline", "--no-cache"])
+    assert code == 1  # the seeded DET002 hazard fails the run
+    assert not (tmp_path / ".lint_cache").exists()
+
+
+def test_cli_cache_dir_flag_is_respected(tmp_path, monkeypatch):
+    src = write_tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    custom = tmp_path / "custom_cache"
+    main([str(src), "--no-baseline", "--cache-dir", str(custom)])
+    assert custom.exists() and list(custom.glob("*.json"))
+    # entries are valid JSON carrying the schema tag
+    payload = json.loads(next(custom.glob("*.json")).read_text())
+    assert "schema" in payload and "findings" in payload
