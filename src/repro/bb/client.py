@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from ..core.jobinfo import JobInfo
-from ..errors import ConfigError, FileNotFound, RpcTimeout
+from ..errors import ConfigError, FileNotFound, InterruptError, RpcTimeout
 from ..fs.filesystem import ThemisFS
 from ..fs.striping import (ErasureSpec, group_range, map_range,
                            parity_spans, server_spans)
@@ -90,6 +90,7 @@ class Client:
         self._io: Dict[str, RpcClient] = {}
         self._io_pending: Dict[str, object] = {}  # server -> in-progress Event
         self._heartbeat_proc = None
+        self._hb_sleep: Optional[Event] = None  # pending inter-beat timer
         self.closed = False
         self.ops_completed = 0
         self.cache = (ClientCache(self.config.cache_bytes,
@@ -236,8 +237,17 @@ class Client:
             yield from self._ensure_io(server)
 
     def _heartbeat_loop(self):
+        try:
+            yield from self._beat()
+        except InterruptError:
+            # _stop_heartbeat() retired us between beats.
+            return
+
+    def _beat(self):
         while not self.closed:
-            yield self.engine.timeout(self.config.heartbeat_interval)
+            self._hb_sleep = self.engine.timeout(
+                self.config.heartbeat_interval)
+            yield self._hb_sleep
             if self.closed:
                 return
             if self._ft:
@@ -261,9 +271,30 @@ class Client:
             if calls:
                 yield self.engine.all_of(calls)
 
+    def _stop_heartbeat(self) -> None:
+        """Retire the heartbeat loop now instead of at its next wake.
+
+        Interrupts the loop out of its inter-beat sleep and cancels the
+        abandoned timer, so a long run with client churn doesn't carry
+        one dead wake per departed client in the event queue. (With
+        cancellation disabled the timer simply fires into the detached
+        event — the pre-cancellation behaviour.)
+        """
+        proc = self._heartbeat_proc
+        if proc is None:
+            return
+        self._heartbeat_proc = None
+        sleep = self._hb_sleep
+        self._hb_sleep = None
+        if proc.is_alive and self.engine.active_process is not proc:
+            proc.interrupt("client closed")
+        if sleep is not None and not sleep.processed and not sleep.cancelled:
+            sleep.cancel()
+
     def goodbye(self):
         """Generator: notify every registered server, stop heartbeats."""
         self.closed = True
+        self._stop_heartbeat()
         if self._ft:
             # Best-effort farewell: a crashed server will expire us via
             # heartbeats instead; don't block shutdown on it.
@@ -293,6 +324,7 @@ class Client:
         """Abrupt exit (fault injection): stop all traffic with no
         goodbye; servers notice via heartbeat expiry and clean up."""
         self.closed = True
+        self._stop_heartbeat()
         self.stats.client_disconnects += 1
 
     # ------------------------------------------------------------------- I/O

@@ -46,6 +46,17 @@ with total population instead of with what changed:
 - ``gift_quiescent_epochs`` — GIFT boundaries over a large idle job
   population (quiescence forecasting vs full per-boundary allocation).
 
+Event-queue kernels (ISSUE 10) probe the cancellation/compaction
+machinery under timer-heavy churn:
+
+- ``engine_timer_churn`` — batch-cancel storms: waves of doomed
+  timeouts cancelled en masse, retired by threshold compaction.
+- ``rpc_timeout_churn`` — 10^5 outstanding timed RPCs through the real
+  UCX stack; the reported rate is the churn phase (carrying and
+  retiring the expiry-timer garbage after every reply has landed).
+- ``heartbeat_storm_n4096`` — 4096 fault-tolerant clients beating two
+  servers, half disconnecting mid-run.
+
 ``--scale-sweep`` runs those kernels across growing populations with
 each fast path on and off, so the sublinear claims are measured.
 """
@@ -61,7 +72,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from .bb import Cluster, ClusterConfig, ServerConfig
+from .bb import ClientConfig, Cluster, ClusterConfig, ServerConfig
 from .core import (JobInfo, Policy, StatisticalTokenScheduler,
                    TokenAssignment)
 from .core import scheduler as _schedmod
@@ -72,14 +83,18 @@ from .fs import locking as _lockmod
 from .fs.filesystem import ThemisFS
 from .fs.locking import RangeLockTable
 from .harness.workspace import code_rev as git_rev
+from .net import Fabric
+from .sim import process as _procmod
 from .sim.engine import Engine
 from .sim.rng import RngRegistry
+from .ucx import RpcClient, RpcServer, UCPContext
 from .units import GB, KiB, MB, MiB
 
 __all__ = ["run_all", "run_and_write", "run_scale_sweep",
            "run_and_write_sweep", "git_rev", "main",
            "bench_scale_cell", "bench_lambda_delta_cell",
-           "bench_sync_cell", "bench_sync_ladder"]
+           "bench_sync_cell", "bench_sync_ladder",
+           "bench_timer_churn_cell"]
 
 
 class _Req:
@@ -463,6 +478,115 @@ def bench_gift_quiescent_epochs(n_jobs: int = 256,
     return epochs
 
 
+def bench_engine_timer_churn(n_timers: int = 20_000, waves: int = 10) -> int:
+    """Batch-cancel storms through the tombstone machinery.
+
+    Each wave schedules a keeper plus *n_timers* doomed timeouts just
+    past it, cancels the doomed en masse (O(1) marks), and advances the
+    clock over the wave: the dead heads trip the majority-threshold
+    compaction, so the corpses are dropped in one O(n) rebuild instead
+    of firing one by one. One op = one schedule+cancel pair.
+    """
+    engine = Engine()
+    horizon = 0.0
+    for _ in range(waves):
+        horizon += 1.0  # lint: disable=PERF102 -- sim-clock step, not a float sum
+        engine.timeout(horizon)  # keeper: each wave pops something live
+        doomed = [engine.timeout(horizon + 0.5) for _ in range(n_timers)]
+        for timer in doomed:
+            timer.cancel()
+        engine.run(until=horizon + 0.75)
+    return waves * n_timers
+
+
+#: rpc_timeout_churn expiry horizon: far enough out that every reply
+#: beats its timer, so all n timers are garbage by the churn phase.
+_CHURN_EXPIRY = 3600.0
+
+
+def bench_rpc_timeout_churn(n_calls: int = 100_000) -> Dict[str, float]:
+    """The expiry-timer garbage left by *n_calls* outstanding timed RPCs.
+
+    Phase 1 (``issue_wall_s``) pumps *n_calls* concurrent
+    ``RpcClient.call(..., timeout=)`` requests through the real UCX/RPC
+    stack against an echo server; every reply wins its race, so by the
+    end the event queue holds up to *n_calls* expiry-timer corpses.
+    Phase 2 (``wall_s``, the reported rate) runs the engine to empty:
+    the cost of carrying and retiring that garbage. With cancellation
+    on, one compaction drops the corpses wholesale; with it off (the
+    sweep's exact side) every timer is heap-popped and fired as a
+    no-op. One op = one expiry timer retired.
+    """
+    engine = Engine()
+    fabric = Fabric(engine, latency=0.001, link_bandwidth=1e9)
+    client_worker = UCPContext(engine, fabric, "cn").create_worker("cw")
+    server_worker = UCPContext(engine, fabric, "sn").create_worker("sw")
+    RpcServer(server_worker, lambda req: req.reply("ok"))
+    client = RpcClient(client_worker, server_worker.address)
+    finished = []
+
+    def caller():
+        pending = [client.call("op", size=64, timeout=_CHURN_EXPIRY)
+                   for _ in range(n_calls)]
+        yield engine.all_of(pending)
+        finished.append(engine.now)
+
+    engine.process(caller())
+    t0 = time.perf_counter()
+    engine.run(until=_CHURN_EXPIRY / 2)
+    t1 = time.perf_counter()
+    assert finished and client.in_flight == 0, "calls did not all complete"
+    census = engine.stats()  # peak garbage, before the drain
+    engine.run()
+    t2 = time.perf_counter()
+    churn = t2 - t1
+    stats = engine.stats()
+    return {
+        "wall_s": round(churn, 6),
+        "issue_wall_s": round(t1 - t0, 6),
+        "ops": n_calls,
+        "ops_per_s": round(n_calls / churn, 1),
+        "dead_at_peak": census["dead_pending"],
+        "cancelled_total": stats["cancelled_total"],
+        "compactions": stats["compactions"],
+    }
+
+
+def bench_heartbeat_storm(n_clients: int = 4096,
+                          until: float = 0.4) -> int:
+    """*n_clients* fault-tolerant clients heartbeating two servers.
+
+    Every beat is a fire-and-forget timed call whose reply cancels the
+    expiry timer; halfway through, half the fleet disconnects abruptly,
+    cancelling the parked inter-beat sleeps (the ``_stop_heartbeat``
+    path). One op = one simulation event scheduled.
+    """
+    cluster = Cluster(ClusterConfig(
+        n_servers=2, policy="job-fair",
+        client=ClientConfig(rpc_timeout=1.0, heartbeat_interval=0.05),
+        server=ServerConfig(bandwidth=1 * GB, n_workers=1)))
+    engine = cluster.engine
+    clients = []
+
+    def app(client):
+        yield from client.register_all()
+
+    for i in range(n_clients):
+        client = cluster.add_client(
+            JobInfo(job_id=i + 1, user=f"u{i % 8}", size=1))
+        clients.append(client)
+        engine.process(app(client))
+
+    def churn():
+        yield engine.timeout(until / 2)
+        for client in clients[::2]:
+            client.disconnect()
+
+    engine.process(churn())
+    cluster.run(until=until)
+    return engine._seq  # total events ever scheduled
+
+
 def _bench_system(contended: bool, n_writes: int) -> Dict[str, float]:
     """A representative 3-job system run on one 4-worker server.
 
@@ -558,6 +682,16 @@ def run_all(quick: bool) -> Dict[str, Dict[str, float]]:
                 n_jobs=64 if quick else 256,
                 epochs=500 if quick else 2000),
             min(rounds, 3)),
+        # Event-queue kernels (ISSUE 10): the cancellation/compaction
+        # machinery under timer-heavy churn.
+        "engine_timer_churn": _time_kernel(
+            lambda: bench_engine_timer_churn(
+                n_timers=2_000 if quick else 20_000),
+            min(rounds, 3)),
+        "rpc_timeout_churn": bench_rpc_timeout_churn(
+            10_000 if quick else 100_000),
+        "heartbeat_storm_n4096": _time_kernel(
+            lambda: bench_heartbeat_storm(256 if quick else 4096), 1),
     }
     return results
 
@@ -623,6 +757,31 @@ def bench_scale_cell(config: Dict) -> Dict:
             "speedup": round(fast / exact, 2) if exact else 0.0}
 
 
+def bench_timer_churn_cell(config: Dict) -> Dict:
+    """One population point of the timeout-churn sweep (sweep point
+    kind ``bench_timer_churn``): the churn-phase rate of
+    :func:`bench_rpc_timeout_churn` with cancellation on (fast) vs off
+    (the heap-with-dead-timers baseline). Config keys: ``population``
+    (outstanding calls), optional ``rounds`` (3)."""
+    population = int(config["population"])
+    rounds = int(config.get("rounds", 3))
+
+    def best_wall(cancel: bool) -> float:
+        _procmod.set_cancel_enabled(cancel)
+        try:
+            return min(bench_rpc_timeout_churn(population)["wall_s"]
+                       for _ in range(rounds))
+        finally:
+            _procmod.set_cancel_enabled(True)
+
+    fast_wall = best_wall(True)
+    exact_wall = best_wall(False)
+    return {"population": population,
+            "fast_ops_per_s": round(population / fast_wall, 1),
+            "exact_ops_per_s": round(population / exact_wall, 1),
+            "speedup": round(exact_wall / fast_wall, 2)}
+
+
 def bench_sync_cell(config: Dict) -> Dict:
     """One (cluster size, layout) point of the sync-cost ladder (sweep
     point kind ``bench_sync``). Sim-deterministic wire metrics — see
@@ -678,6 +837,14 @@ def run_scale_sweep(quick: bool = False, workspace=None, jobs: int = 1,
             points.append(("bench_scale",
                            {"kernel": name, "population": int(population),
                             "rounds": rounds}))
+    # Timeout churn: cancellation on vs the heap-with-dead-timers
+    # baseline, across outstanding-call counts (ISSUE 10 acceptance:
+    # >=2x at 10^5 outstanding).
+    for population in ((10_000, 40_000) if quick
+                       else (10_000, 40_000, 100_000)):
+        points.append(("bench_timer_churn",
+                       {"population": population,
+                        "rounds": 2 if quick else 3}))
     # λ-sync delta: the fast path changes wire accounting, not host
     # time, so its sweep reports payload savings across cluster sizes.
     for n_servers in ((4, 8) if quick else (4, 8, 16)):
@@ -704,6 +871,9 @@ def run_scale_sweep(quick: bool = False, workspace=None, jobs: int = 1,
     for outcome in run.points:
         if outcome.kind == "bench_scale":
             sweep.setdefault(outcome.config["kernel"],
+                             []).append(dict(outcome.result))
+        elif outcome.kind == "bench_timer_churn":
+            sweep.setdefault("rpc_timeout_churn",
                              []).append(dict(outcome.result))
         elif outcome.kind == "bench_sync":
             sweep.setdefault("lambda_sync_ladder",

@@ -306,6 +306,11 @@ class _WaiterMixin:
         for entry in entries:
             if entry.woken:
                 continue
+            if getattr(entry.event, "cancelled", False):
+                # The waiter abandoned the wait (timer-style cancel);
+                # succeed() on it would raise. Retire the entry instead.
+                entry.woken = True
+                continue
             if indexed and entry.offset is not None:
                 for lo, hi in ranges:
                     if entry.offset < hi and lo < entry.end:
@@ -323,10 +328,14 @@ class _WaiterMixin:
         if not queue:
             return 0
         for entry in queue.values():
-            if not entry.woken:
-                entry.woken = True
-                entry.event.succeed()
-                return 1
+            if entry.woken:
+                continue
+            if getattr(entry.event, "cancelled", False):
+                entry.woken = True  # abandoned wait: retire, try the next
+                continue
+            entry.woken = True
+            entry.event.succeed()
+            return 1
         return 0
 
     def _wake_all(self) -> None:
@@ -335,8 +344,9 @@ class _WaiterMixin:
         self._index = {}
         for queue in waiters.values():
             for entry in queue.values():
-                if not entry.woken:
-                    entry.event.succeed()
+                if entry.woken or getattr(entry.event, "cancelled", False):
+                    continue
+                entry.event.succeed()
 
 
 class RangeLockTable(_WaiterMixin):

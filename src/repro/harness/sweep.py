@@ -65,6 +65,7 @@ POINT_KINDS: Dict[str, Tuple[str, str]] = {
     "bench_scale": ("repro.bench", "bench_scale_cell"),
     "bench_lambda_delta": ("repro.bench", "bench_lambda_delta_cell"),
     "bench_sync": ("repro.bench", "bench_sync_cell"),
+    "bench_timer_churn": ("repro.bench", "bench_timer_churn_cell"),
 }
 
 

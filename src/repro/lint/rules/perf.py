@@ -12,7 +12,8 @@ from typing import Iterator, List, Set
 from ..core import Finding, Module, Rule, Severity, register
 from ._util import dotted_name, iter_functions, statements_in_order
 
-__all__ = ["MissingSlotsRule", "FloatAccumulationRule", "ListHeadShiftRule"]
+__all__ = ["MissingSlotsRule", "FloatAccumulationRule", "ListHeadShiftRule",
+           "TimerChurnRule"]
 
 #: Modules whose classes are instantiated inside bench kernels; the
 #: event/request/extent churn there makes per-instance ``__dict__``
@@ -191,3 +192,121 @@ class ListHeadShiftRule(Rule):
                 module, node,
                 f"{what} shifts every element on a bench hot path; "
                 "use collections.deque or an index cursor")
+
+
+@register
+class TimerChurnRule(Rule):
+    """PERF104: callback-list scans and never-cancelled timer races.
+
+    Two shapes of event-queue garbage (DESIGN.md §15):
+
+    - ``X.callbacks.remove(cb)`` outside ``sim/`` — a linear scan of a
+      possibly thousands-long callback list; the kernel's O(1)
+      ``Event.attach``/``detach`` slot handles exist for exactly this.
+    - A local ``t = <engine>.timeout(...)`` that gets a callback
+      attached (``t.callbacks.append``/``t.attach``) but is neither
+      yielded, cancelled, nor stored anywhere — the expiry-race shape:
+      when the raced operation wins, the timer stays in the event queue
+      as a corpse until it fires. Keep a handle and ``cancel()`` it.
+
+    Conservative-for-silence: a timer that escapes the function (stored
+    into an attribute/container, passed to a call, returned or yielded)
+    is assumed to be cancelled by whoever holds it. Timers that always
+    fire by design (pure delays) take no callback and are never flagged;
+    waive the rare always-fires callback timer inline with a reason.
+    """
+
+    id = "PERF104"
+    severity = Severity.ADVISORY
+    title = "timer-churn hazard (callback scan / uncancelled race timer)"
+    rationale = ("dead timers and linear callback scans make the event "
+                 "queue linear in garbage; cancel raced timers and use "
+                 "attach/detach slots")
+    scopes = ("src",)
+
+    @staticmethod
+    def _local_name(node: ast.expr) -> str:
+        return node.id if isinstance(node, ast.Name) else ""
+
+    def _scan_remove(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "remove" and \
+                    isinstance(node.func.value, ast.Attribute) and \
+                    node.func.value.attr == "callbacks":
+                yield self.finding(
+                    module, node,
+                    "callbacks.remove() scans the whole callback list; "
+                    "use the O(1) Event.attach/detach slot handles")
+
+    def _scan_races(self, module: Module,
+                    func: ast.AST) -> Iterator[Finding]:
+        timers: dict = {}    # name -> Assign node of the timeout
+        attached: set = set()
+        escaped: set = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+                if isinstance(target, ast.Name) and \
+                        isinstance(value, ast.Call) and \
+                        isinstance(value.func, ast.Attribute) and \
+                        value.func.attr == "timeout":
+                    timers[target.id] = node
+                    continue
+                # Re-assignment into an attribute/subscript: the timer
+                # escapes to state someone else can cancel.
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    escaped.add(self._local_name(node.value))
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                if isinstance(fn, ast.Attribute):
+                    owner = fn.value
+                    if fn.attr == "append" and \
+                            isinstance(owner, ast.Attribute) and \
+                            owner.attr == "callbacks":
+                        attached.add(self._local_name(owner.value))
+                        continue
+                    if fn.attr == "attach":
+                        attached.add(self._local_name(owner))
+                        continue
+                    if fn.attr == "cancel":
+                        escaped.add(self._local_name(owner))
+                        continue
+                # Passed as a call argument (all_of, helper, ...): the
+                # callee may keep a cancellable handle.
+                for arg in list(node.args) + [kw.value
+                                              for kw in node.keywords]:
+                    escaped.add(self._local_name(arg))
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = getattr(node, "value", None)
+                if value is not None:
+                    escaped.add(self._local_name(value))
+            elif isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+                for elt in node.elts:
+                    escaped.add(self._local_name(elt))
+            elif isinstance(node, ast.Dict):
+                for elt in node.values:
+                    escaped.add(self._local_name(elt))
+        for name, assign in timers.items():
+            if name in attached and name not in escaped:
+                yield self.finding(
+                    module, assign,
+                    f"timer '{name}' gets a callback but is never "
+                    "cancelled, yielded, or stored; if it races another "
+                    "completion it stays in the event queue as a corpse "
+                    "- keep a handle and cancel() the loser")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        norm = module.path.replace("\\", "/")
+        in_sim = "/sim/" in norm or norm.startswith("sim/")
+        if not in_sim:
+            yield from self._scan_remove(module)
+        seen: set = set()  # nested defs are walked twice; dedupe by site
+        for func in iter_functions(module.tree):
+            for f in self._scan_races(module, func):
+                key = (f.line, f.col)
+                if key not in seen:
+                    seen.add(key)
+                    yield f

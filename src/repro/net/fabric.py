@@ -202,6 +202,7 @@ class Fabric:
 
         def _after_wire(_ev: Event) -> None:
             # Fixed propagation latency after serialisation.
+            # lint: disable=PERF104 -- pure propagation delay, always fires
             wire = self.engine.timeout(self.latency + extra_delay)
             wire.callbacks.append(_arrive)
 

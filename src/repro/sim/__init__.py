@@ -11,20 +11,28 @@ Public surface:
 - :class:`Tracer` — event tracing.
 """
 
-from .engine import Engine
-from .process import AllOf, AnyOf, Condition, Event, Process, Timeout
+from .engine import Engine, default_eventq, set_default_eventq
+from .eventq import CalendarEventQueue
+from .process import (AllOf, AnyOf, Condition, Event, Process, Ticker,
+                      Timeout, cancel_enabled, set_cancel_enabled)
 from .resources import BandwidthPipe, PriorityStore, Resource, Store
 from .rng import RngRegistry, stable_hash
 from .trace import TraceRecord, Tracer
 
 __all__ = [
     "Engine",
+    "CalendarEventQueue",
+    "set_default_eventq",
+    "default_eventq",
     "Event",
     "Timeout",
     "Process",
+    "Ticker",
     "Condition",
     "AllOf",
     "AnyOf",
+    "set_cancel_enabled",
+    "cancel_enabled",
     "Store",
     "PriorityStore",
     "Resource",

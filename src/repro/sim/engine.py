@@ -2,10 +2,21 @@
 
 A minimal, deterministic event-driven kernel in the SimPy style, written
 from scratch for this reproduction. The :class:`Engine` owns a virtual
-clock and a binary heap of scheduled :class:`~repro.sim.process.Event`
-objects. Events scheduled at equal times fire in scheduling order (a
-monotonically increasing sequence number breaks ties), which makes every
-run bit-for-bit reproducible given the same seeds.
+clock and a pending-event queue of scheduled
+:class:`~repro.sim.process.Event` objects. Events scheduled at equal
+times fire in scheduling order (a monotonically increasing sequence
+number breaks ties), which makes every run bit-for-bit reproducible
+given the same seeds.
+
+Two queue backends share that ordering contract (DESIGN.md §15): the
+default binary heap, and a bucketed calendar queue
+(:class:`~repro.sim.eventq.CalendarEventQueue`) selected with
+``Engine(eventq="calendar")`` that gives amortized O(1) schedule/pop
+under heavy timer churn. Cancelled events
+(:meth:`~repro.sim.process.Event.cancel`) are skipped lazily on pop and
+compacted away in O(n) once dead entries dominate, so the queue stays
+sublinear in garbage; live ``(time, seq)`` ordering is untouched either
+way, which is why traces are identical by construction.
 
 Typical usage::
 
@@ -24,18 +35,47 @@ Typical usage::
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, Optional, Union
 
 from ..errors import SimulationError, StopSimulation
-from .process import AllOf, AnyOf, Event, Process, Timeout
+from .eventq import CalendarEventQueue
+from .process import AllOf, AnyOf, Event, Process, Ticker, Timeout
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "set_default_eventq", "default_eventq"]
 
 # Bound once at import: the schedule/step path runs for every simulated
 # event, where even the module-attribute lookup of heapq.heappush shows
 # up in profiles.
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+
+#: Compaction trigger: rebuild the queue once more than this many dead
+#: entries are pending *and* they outnumber live ones (dead > max(1024,
+#: len/2)). The floor keeps small runs from compacting at all; the ratio
+#: bounds the amortized cost at O(1) per cancellation.
+_COMPACT_MIN_DEAD = 1024
+
+#: Module default for Engine(eventq=None): None/"heap" or "calendar".
+#: Lets A/B harnesses flip the whole stack (clusters build their engines
+#: internally) without threading a parameter through every config layer.
+_DEFAULT_EVENTQ: Optional[str] = None
+
+
+def set_default_eventq(kind: Optional[str]) -> None:
+    """Select the queue backend newly built Engines default to.
+
+    *kind* is ``None``/"heap" (binary heap) or "calendar"
+    (:class:`CalendarEventQueue`). Existing engines are unaffected.
+    """
+    if kind not in (None, "heap", "calendar"):
+        raise SimulationError(f"unknown eventq kind: {kind!r}")
+    global _DEFAULT_EVENTQ
+    _DEFAULT_EVENTQ = kind
+
+
+def default_eventq() -> Optional[str]:
+    """The queue-backend kind new Engines currently default to."""
+    return _DEFAULT_EVENTQ
 
 
 class Engine:
@@ -45,17 +85,37 @@ class Engine:
     ----------
     start:
         Initial value of the simulated clock (seconds).
+    eventq:
+        Queue backend: ``None`` (module default, normally the heap),
+        ``"heap"``, ``"calendar"``, or any object with the
+        push/pop/peek/compact/__len__ protocol of
+        :class:`~repro.sim.eventq.CalendarEventQueue`.
     """
 
     __slots__ = ("_now", "_heap", "_seq", "_active_process",
-                 "_stop_requested")
+                 "_stop_requested", "_eventq", "_dead", "_cancelled_total",
+                 "_compactions")
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0,
+                 eventq: Union[None, str, Any] = None):
         self._now = float(start)
         self._heap: list = []  # entries: (time, seq, event)
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._stop_requested = False
+        if eventq is None:
+            eventq = _DEFAULT_EVENTQ
+        if eventq is None or eventq == "heap":
+            self._eventq: Optional[Any] = None
+        elif eventq == "calendar":
+            self._eventq = CalendarEventQueue()
+        elif hasattr(eventq, "push") and hasattr(eventq, "pop"):
+            self._eventq = eventq
+        else:
+            raise SimulationError(f"unknown eventq: {eventq!r}")
+        self._dead = 0  # cancelled entries still sitting in the queue
+        self._cancelled_total = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------ clock
     @property
@@ -73,16 +133,24 @@ class Engine:
         """Enqueue *event* to fire ``delay`` seconds from now.
 
         An event may be scheduled only once; it fires by invoking its
-        callbacks with the event as the sole argument.
+        callbacks with the event as the sole argument. Cancelled events
+        cannot be scheduled (their firing would be silently skipped,
+        which no caller ever wants).
         """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
         if event._scheduled:
             raise SimulationError(f"{event!r} already scheduled")
+        if event._cancelled:
+            raise SimulationError(f"cannot schedule cancelled {event!r}")
         event._scheduled = True
         seq = self._seq
         self._seq = seq + 1
-        _heappush(self._heap, (self._now + delay, seq, event))
+        q = self._eventq
+        if q is None:
+            _heappush(self._heap, (self._now + delay, seq, event))
+        else:
+            q.push(self._now + delay, seq, event)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Return an event that fires after ``delay`` simulated seconds."""
@@ -104,18 +172,99 @@ class Engine:
         """Event that fires as soon as any event in *events* triggers."""
         return AnyOf(self, list(events))
 
+    # ----------------------------------------------------------- cancellation
+    def _note_cancel(self) -> None:
+        """Record that a scheduled entry just went dead (Event.cancel)."""
+        self._dead += 1
+        self._cancelled_total += 1
+
+    def _compact(self) -> None:
+        """Rebuild the queue without dead entries (O(n); resets census)."""
+        q = self._eventq
+        if q is None:
+            self._heap = [e for e in self._heap if not e[2]._cancelled]
+            heapq.heapify(self._heap)
+        else:
+            q.compact()
+        self._dead = 0
+        self._compactions += 1
+
+    def stats(self) -> Dict[str, Any]:
+        """Event-queue census: pending/dead counts, cancels, compactions."""
+        q = self._eventq
+        pending = len(self._heap) if q is None else len(q)
+        return {
+            "now": self._now,
+            "eventq": "heap" if q is None else type(q).__name__,
+            "pending": pending,
+            "dead_pending": self._dead,
+            "live_pending": pending - self._dead,
+            "cancelled_total": self._cancelled_total,
+            "compactions": self._compactions,
+        }
+
     # ---------------------------------------------------------------- running
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next live scheduled event, or ``inf`` if none remain.
+
+        Dead (cancelled) entries at the head of the queue are discarded
+        as a side effect, so repeated peeks stay O(1) amortized.
+        """
+        q = self._eventq
+        if q is None:
+            heap = self._heap
+            while heap:
+                head = heap[0]
+                if head[2]._cancelled:
+                    _heappop(heap)
+                    self._dead -= 1
+                    continue
+                return head[0]
+            return float("inf")
+        while True:
+            entry = q.peek()
+            if entry is None:
+                return float("inf")
+            if entry[2]._cancelled:
+                q.pop()
+                self._dead -= 1
+                continue
+            return entry[0]
 
     def step(self) -> None:
-        """Process exactly one event; raise SimulationError if none remain."""
-        if not self._heap:
+        """Process exactly one live event; raise SimulationError if none
+        remain. Dead entries encountered on the way are discarded (and
+        the queue compacted once they dominate)."""
+        q = self._eventq
+        if q is None:
+            heap = self._heap
+            while heap:
+                when, _seq, event = _heappop(heap)
+                if event._cancelled:
+                    dead = self._dead - 1
+                    self._dead = dead
+                    if dead > _COMPACT_MIN_DEAD and dead * 2 > len(heap):
+                        self._compact()
+                        heap = self._heap
+                    continue
+                self._now = when
+                event._fire()
+                return
             raise SimulationError("no scheduled events")
-        when, _seq, event = _heappop(self._heap)
-        self._now = when
-        event._fire()
+        while True:
+            entry = q.pop()
+            if entry is None:
+                raise SimulationError("no scheduled events")
+            when, _seq, event = entry
+            if event._cancelled:
+                dead = self._dead - 1
+                self._dead = dead
+                if dead > _COMPACT_MIN_DEAD and dead * 2 > len(q):
+                    self._compact()
+                continue
+            self._now = when
+            event._fire()
+            return
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the event queue drains or the clock reaches *until*.
@@ -132,14 +281,43 @@ class Engine:
                     f"until={until!r} is in the past (now={self._now!r})"
                 )
         self._stop_requested = False
+        q = self._eventq
         heap = self._heap
         try:
-            if until is None:
+            if q is not None:
+                while True:
+                    if self._stop_requested:
+                        return
+                    entry = q.peek()
+                    if entry is None:
+                        break
+                    if until is not None and entry[0] > until:
+                        self._now = until
+                        return
+                    event = entry[2]
+                    if event._cancelled:
+                        q.pop()
+                        dead = self._dead - 1
+                        self._dead = dead
+                        if dead > _COMPACT_MIN_DEAD and dead * 2 > len(q):
+                            self._compact()
+                        continue
+                    q.pop()
+                    self._now = entry[0]
+                    event._fire()
+            elif until is None:
                 # Unbounded run: tight loop without the deadline check.
                 while heap:
                     if self._stop_requested:
                         return
                     when, _seq, event = _heappop(heap)
+                    if event._cancelled:
+                        dead = self._dead - 1
+                        self._dead = dead
+                        if dead > _COMPACT_MIN_DEAD and dead * 2 > len(heap):
+                            self._compact()
+                            heap = self._heap
+                        continue
                     self._now = when
                     event._fire()
             else:
@@ -147,9 +325,18 @@ class Engine:
                     if self._stop_requested:
                         return
                     if heap[0][0] > until:
+                        # Works on a dead head too: every live entry is
+                        # at or beyond it, hence also past the deadline.
                         self._now = until
                         return
                     when, _seq, event = _heappop(heap)
+                    if event._cancelled:
+                        dead = self._dead - 1
+                        self._dead = dead
+                        if dead > _COMPACT_MIN_DEAD and dead * 2 > len(heap):
+                            self._compact()
+                            heap = self._heap
+                        continue
                     self._now = when
                     event._fire()
         except StopSimulation:
@@ -179,26 +366,25 @@ class Engine:
         return ev
 
     def every(self, interval: float, fn: Callable[[], Any],
-              start_delay: Optional[float] = None) -> Process:
-        """Run ``fn()`` every *interval* seconds forever; returns the process.
+              start_delay: Optional[float] = None) -> Ticker:
+        """Run ``fn()`` every *interval* seconds; returns a stoppable
+        :class:`~repro.sim.process.Ticker`.
 
         *start_delay* defaults to one full interval before the first
         tick; ``start_delay=0`` fires the first tick immediately (at the
         current time, after pending events). It must be non-negative.
+        Call :meth:`~repro.sim.process.Ticker.stop` on the returned
+        handle to end the loop cleanly.
         """
         if interval <= 0:
             raise SimulationError(f"interval must be positive: {interval!r}")
         if start_delay is not None and start_delay < 0:
             raise SimulationError(
                 f"start_delay must be non-negative: {start_delay!r}")
-
-        def _ticker():
-            yield self.timeout(interval if start_delay is None else start_delay)
-            while True:
-                fn()
-                yield self.timeout(interval)
-
-        return self.process(_ticker())
+        first = interval if start_delay is None else start_delay
+        return Ticker(self, interval, fn, first)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Engine now={self._now:.6f} pending={len(self._heap)}>"
+        q = self._eventq
+        pending = len(self._heap) if q is None else len(q)
+        return f"<Engine now={self._now:.6f} pending={pending}>"

@@ -16,9 +16,28 @@ from ..errors import InterruptError, SimulationError
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Engine
 
-__all__ = ["Event", "Timeout", "Process", "Condition", "AllOf", "AnyOf"]
+__all__ = ["Event", "Timeout", "Process", "Ticker", "Condition", "AllOf",
+           "AnyOf", "set_cancel_enabled", "cancel_enabled"]
 
 _PENDING = object()
+
+# Timer cancellation (DESIGN.md §15). When enabled, Event.cancel() marks a
+# scheduled-but-untriggered event dead: the engine skips it on pop and
+# compacts the queue when corpses accumulate. When disabled, cancel() is a
+# no-op and the event fires exactly as it always did (with any detached
+# callbacks skipped) — the baseline semantics used by the A/B digest suite.
+_CANCEL_ENABLED = True
+
+
+def set_cancel_enabled(enabled: bool) -> None:
+    """Toggle timer cancellation (trace-neutral; see DESIGN.md §15)."""
+    global _CANCEL_ENABLED
+    _CANCEL_ENABLED = bool(enabled)
+
+
+def cancel_enabled() -> bool:
+    """True while Event.cancel() actually marks events dead."""
+    return _CANCEL_ENABLED
 
 
 class Event:
@@ -35,16 +54,17 @@ class Event:
     """
 
     __slots__ = ("engine", "callbacks", "_value", "_ok", "_scheduled",
-                 "_processed", "_defused")
+                 "_processed", "_defused", "_cancelled")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
-        self.callbacks: List[Callable[["Event"], None]] = []
+        self.callbacks: List[Optional[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._scheduled = False
         self._processed = False
         self._defused = False
+        self._cancelled = False
 
     # ------------------------------------------------------------- state
     @property
@@ -60,6 +80,11 @@ class Event:
     @property
     def scheduled(self) -> bool:
         return self._scheduled
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has marked this event dead."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -100,6 +125,52 @@ class Event:
         """Prevent an unhandled failure of this event from crashing the run."""
         self._defused = True
 
+    def cancel(self) -> bool:
+        """Mark this event dead so it never fires; returns True if marked.
+
+        Cancellation is idempotent and illegal once the event has
+        triggered (it has a value) or fired. A cancelled event is lazily
+        discarded by the engine on pop, so cancel() is O(1); the engine
+        compacts the queue when dead entries accumulate. With the
+        cancellation toggle off this is a no-op returning False: the
+        event stays in the queue and fires exactly as before (callers
+        must already tolerate the firing — that *is* the baseline
+        behaviour the A/B suite compares against).
+        """
+        if self.triggered or self._processed:
+            raise SimulationError(f"cannot cancel {self!r}: already triggered")
+        if not _CANCEL_ENABLED:
+            return False
+        if self._cancelled:
+            return True
+        self._cancelled = True
+        # Drop callback references eagerly: a million-timer churn must not
+        # pin closures (and the objects they capture) until compaction.
+        self.callbacks = []
+        if self._scheduled:
+            self.engine._note_cancel()
+        return True
+
+    # ------------------------------------------------------------ callbacks
+    def attach(self, callback: Callable[["Event"], None]) -> int:
+        """Append *callback* and return an O(1) detach handle (its slot)."""
+        cbs = self.callbacks
+        cbs.append(callback)
+        return len(cbs) - 1
+
+    def detach(self, slot: int) -> None:
+        """Remove the callback registered at *slot* (O(1), idempotent).
+
+        No-op once the event has fired or been cancelled — the callback
+        list has already been handed off (or dropped), so there is
+        nothing left to detach.
+        """
+        if self._processed or self._cancelled:
+            return
+        cbs = self.callbacks
+        if 0 <= slot < len(cbs):
+            cbs[slot] = None
+
     # ------------------------------------------------------------- internal
     def _fire(self) -> None:
         """Invoke callbacks (called by the engine when this event is popped)."""
@@ -111,7 +182,8 @@ class Event:
         self._processed = True
         callbacks, self.callbacks = self.callbacks, []
         for cb in callbacks:
-            cb(self)
+            if cb is not None:  # None = detached slot
+                cb(self)
         if not self._ok and not self._defused:
             raise self._value
 
@@ -154,7 +226,7 @@ class Process(Event):
     processes may therefore ``yield`` a process to join it.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_target_slot")
 
     def __init__(self, engine: "Engine", generator: Generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -162,6 +234,7 @@ class Process(Event):
         super().__init__(engine)
         self._generator = generator
         self._target: Optional[Event] = None
+        self._target_slot = -1
         Initialize(engine, self)
 
     @property
@@ -182,10 +255,9 @@ class Process(Event):
         if self.triggered:
             raise SimulationError("cannot interrupt a finished process")
         if self._target is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+            # O(1): null out our slot instead of scanning the (possibly
+            # thousands-long) callback list of a contended event.
+            self._target.detach(self._target_slot)
             self._target = None
         ev = Event(self.engine)
         ev.callbacks.append(self._resume)
@@ -196,6 +268,11 @@ class Process(Event):
 
     # ------------------------------------------------------------- internal
     def _resume(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            # Already finished: a stale wakeup (e.g. an interrupt racing
+            # the generator's own final return) must not re-drive the
+            # exhausted generator or re-schedule the process event.
+            return
         engine = self.engine
         prev, engine._active_process = engine._active_process, self
         try:
@@ -234,7 +311,7 @@ class Process(Event):
                     # Already fired: resume synchronously with its value.
                     event = target
                     continue
-                target.callbacks.append(self._resume)
+                self._target_slot = target.attach(self._resume)
                 self._target = target
                 return
         finally:
@@ -246,7 +323,7 @@ class Process(Event):
 class Condition(Event):
     """Composite event over a list of events; see :class:`AllOf`/:class:`AnyOf`."""
 
-    __slots__ = ("_events", "_evaluate", "_count")
+    __slots__ = ("_events", "_evaluate", "_count", "_slots")
 
     def __init__(self, engine: "Engine", events: List[Event],
                  evaluate: Callable[[List[Event], int], bool]):
@@ -254,6 +331,7 @@ class Condition(Event):
         self._events = events
         self._evaluate = evaluate
         self._count = 0
+        self._slots: List = []
         if not events:
             self.succeed([])
             return
@@ -261,7 +339,19 @@ class Condition(Event):
             if ev.processed:
                 self._check(ev)
             else:
-                ev.callbacks.append(self._check)
+                self._slots.append((ev, ev.attach(self._check)))
+
+    def _detach_rest(self) -> None:
+        """Let go of constituents that have not fired yet.
+
+        Once the condition has triggered, the remaining _check callbacks
+        would be no-ops; detaching them keeps an AnyOf loser from pinning
+        this condition (and its whole event list) in every pending
+        event's callback list until it fires.
+        """
+        slots, self._slots = self._slots, []
+        for ev, slot in slots:
+            ev.detach(slot)
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -269,10 +359,67 @@ class Condition(Event):
         if not event._ok:
             event._defused = True
             self.fail(event._value)
+            self._detach_rest()
             return
         self._count += 1
         if self._evaluate(self._events, self._count):
             self.succeed([ev._value for ev in self._events if ev.triggered and ev._ok])
+            self._detach_rest()
+
+
+class Ticker(Process):
+    """Periodic callback process returned by :meth:`Engine.every`.
+
+    A plain :class:`Process` (joinable, interruptible) plus a
+    :meth:`stop` that ends the loop cleanly: the in-flight sleep timer
+    is detached and cancelled through the new cancel path instead of
+    firing forever.
+    """
+
+    __slots__ = ("_stopped", "_sleep")
+
+    def __init__(self, engine: "Engine", interval: float,
+                 fn: Callable[[], Any], first: float):
+        self._stopped = False
+        self._sleep: Optional[Event] = None
+        super().__init__(engine, self._tick(engine, interval, fn, first))
+
+    def _tick(self, engine: "Engine", interval: float,
+              fn: Callable[[], Any], first: float) -> Generator:
+        try:
+            if self._stopped:
+                return
+            self._sleep = engine.timeout(first)
+            yield self._sleep
+            while not self._stopped:
+                fn()
+                if self._stopped:
+                    return
+                self._sleep = engine.timeout(interval)
+                yield self._sleep
+        except InterruptError:
+            return
+
+    def stop(self) -> None:
+        """Stop ticking; idempotent, safe from inside the tick callback.
+
+        Called from outside the ticker, the loop ends immediately (the
+        pending sleep is abandoned and cancelled); called from within
+        ``fn()`` itself, the generator returns right after ``fn()``
+        without scheduling another sleep.
+        """
+        if self._stopped or self.triggered:
+            self._stopped = True
+            return
+        self._stopped = True
+        if self.engine.active_process is self:
+            return  # mid-tick: the loop checks the flag after fn() returns
+        sleep = self._sleep
+        if sleep is None:
+            return  # not yet started: the generator checks the flag first
+        self.interrupt("ticker stopped")
+        if not sleep.processed and not sleep.cancelled:
+            sleep.cancel()
 
 
 class AllOf(Condition):

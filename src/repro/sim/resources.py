@@ -68,18 +68,26 @@ class Store:
         return None
 
     def _dispatch(self) -> None:
-        # Admit queued puts while there is room.
+        # Admit queued puts while there is room. A cancelled putter
+        # abandoned the wait: drop it (and its item) instead of storing.
         while self._putters and len(self.items) < self.capacity:
             put_ev, item = self._putters.popleft()
+            if put_ev._cancelled:
+                continue
             self.items.append(item)
             put_ev.succeed()
-        # Satisfy queued gets while items exist.
+        # Satisfy queued gets while items exist; cancelled getters no
+        # longer want an item, so the next live getter takes it.
         while self._getters and self.items:
             get_ev = self._getters.popleft()
+            if get_ev._cancelled:
+                continue
             get_ev.succeed(self.items.popleft())
             # An item left may unblock a putter.
             while self._putters and len(self.items) < self.capacity:
                 put_ev, item = self._putters.popleft()
+                if put_ev._cancelled:
+                    continue
                 self.items.append(item)
                 put_ev.succeed()
 
@@ -100,13 +108,19 @@ class PriorityStore(Store):
     def _dispatch(self) -> None:
         while self._putters and len(self.items) < self.capacity:
             put_ev, item = self._putters.popleft()
+            if put_ev._cancelled:
+                continue
             heapq.heappush(self.items, item)
             put_ev.succeed()
         while self._getters and self.items:
             get_ev = self._getters.popleft()
+            if get_ev._cancelled:
+                continue
             get_ev.succeed(heapq.heappop(self.items))
             while self._putters and len(self.items) < self.capacity:
                 put_ev, item = self._putters.popleft()
+                if put_ev._cancelled:
+                    continue
                 heapq.heappush(self.items, item)
                 put_ev.succeed()
 
@@ -165,10 +179,14 @@ class Resource:
         if request not in self._holders:
             raise SimulationError("releasing a request that does not hold the resource")
         self._holders.discard(request)
-        if self._waiters:
-            nxt = self._waiters.popleft()
+        waiters = self._waiters
+        while waiters:
+            nxt = waiters.popleft()
+            if nxt._cancelled:
+                continue  # gave up the wait; promote the next in line
             self._holders.add(nxt)
             nxt.succeed()
+            return
 
 
 class BandwidthPipe:

@@ -78,6 +78,10 @@ class RpcClient:
         self.worker = worker
         self.endpoint: Endpoint = worker.create_endpoint(remote)
         self._pending: Dict[int, Event] = {}
+        #: expiry timers for pending timed calls, cancelled when the
+        #: response wins the race (keeps the event queue corpse-free
+        #: under heavy call churn; see DESIGN.md §15).
+        self._timers: Dict[int, Event] = {}
         #: calls whose timeout expired before the response arrived.
         self.timeouts = 0
         #: responses for calls no longer pending (late reply after a
@@ -120,10 +124,12 @@ class RpcClient:
             timer = self.worker.engine.timeout(timeout)
             timer.callbacks.append(
                 lambda _ev: self._expire(cid, done, op, timeout))
+            self._timers[cid] = timer
         return done
 
     def _expire(self, cid: int, done: Event, op: str,
                 timeout: float) -> None:
+        self._timers.pop(cid, None)
         # Only fail the call if it is still the pending one for this cid
         # (the response may have raced the timer).
         if self._pending.get(cid) is not done:
@@ -144,6 +150,12 @@ class RpcClient:
             # Late response after a timeout (or a duplicate): drop it.
             self.unmatched_responses += 1
             return
+        timer = self._timers.pop(cid, None)
+        if timer is not None and not timer.processed:
+            # The response won the race: the expiry timer is garbage now.
+            # With cancellation off this is a no-op and the timer fires
+            # into _expire, which finds the cid gone and returns.
+            timer.cancel()
         done.succeed(msg.payload["body"])
 
     @property

@@ -1,0 +1,97 @@
+"""A/B acceptance: cancellation and the calendar queue are trace-neutral.
+
+The same seeded cluster workload is run three ways — cancellation
+disabled (the pre-optimization baseline), cancellation enabled on the
+default heap, and cancellation enabled on the calendar queue — and must
+produce bit-identical sampler traces, clocks, and served-byte totals.
+"""
+
+import pytest
+
+from repro.bb import ClientConfig, Cluster, ClusterConfig, ServerConfig
+from repro.core import JobInfo
+from repro.sim import set_cancel_enabled, set_default_eventq
+from repro.units import GB, MB
+
+
+@pytest.fixture(autouse=True)
+def _restore_kernel_toggles():
+    set_cancel_enabled(True)
+    set_default_eventq(None)
+    yield
+    set_cancel_enabled(True)
+    set_default_eventq(None)
+
+
+def _run_cluster(*, seed=0, until=6.0, n_servers=3, n_jobs=4, writes=12):
+    # rpc_timeout/sync_timeout arm expiry timers on every timed call, so
+    # the workload actually exercises the cancel path when replies win.
+    cluster = Cluster(ClusterConfig(
+        n_servers=n_servers, policy="job-fair", seed=seed,
+        client=ClientConfig(rpc_timeout=5.0),
+        server=ServerConfig(bandwidth=1 * GB, n_workers=2,
+                            sync_timeout=2.0)))
+    cluster.fs.makedirs("/fs/d")
+    engine = cluster.engine
+
+    def app(client, idx):
+        yield from client.register_all()
+        path = f"/fs/d/f{idx}"
+        yield from client.create(path)
+        for _ in range(writes):
+            yield from client.write(path, 0, 1 * MB)
+
+    for idx in range(n_jobs):
+        client = cluster.add_client(
+            JobInfo(job_id=idx + 1, user=f"u{idx % 2}", size=idx + 1))
+        engine.process(app(client, idx))
+    cluster.run(until=until)
+    return cluster
+
+
+def _trace(cluster):
+    s = cluster.sampler
+    return (list(zip(s._times, s._jobs, s._bytes, s._ops)),
+            cluster.engine.now, cluster.total_served_bytes())
+
+
+def _run(*, cancel, eventq, seed):
+    set_cancel_enabled(cancel)
+    set_default_eventq(eventq)
+    try:
+        return _run_cluster(seed=seed)
+    finally:
+        set_cancel_enabled(True)
+        set_default_eventq(None)
+
+
+class TestCancellationTraceNeutral:
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_cancel_on_equals_cancel_off(self, seed):
+        on = _trace(_run(cancel=True, eventq=None, seed=seed))
+        off = _trace(_run(cancel=False, eventq=None, seed=seed))
+        assert on == off
+
+    def test_cancellation_actually_exercised(self):
+        """The neutrality claim is vacuous unless the workload cancels."""
+        cluster = _run(cancel=True, eventq=None, seed=0)
+        assert cluster.engine.stats()["cancelled_total"] > 0
+
+
+class TestCalendarTraceNeutral:
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_calendar_equals_heap(self, seed):
+        heap = _trace(_run(cancel=True, eventq=None, seed=seed))
+        calendar = _trace(_run(cancel=True, eventq="calendar", seed=seed))
+        assert heap == calendar
+
+    def test_calendar_queue_actually_selected(self):
+        cluster = _run(cancel=True, eventq="calendar", seed=0)
+        assert cluster.engine.stats()["eventq"] == "CalendarEventQueue"
+
+    def test_three_way_triangle(self):
+        """Baseline, cancel+heap, cancel+calendar: one identical trace."""
+        baseline = _trace(_run(cancel=False, eventq=None, seed=1))
+        heap = _trace(_run(cancel=True, eventq=None, seed=1))
+        calendar = _trace(_run(cancel=True, eventq="calendar", seed=1))
+        assert baseline == heap == calendar

@@ -1,0 +1,1 @@
+"""Timer-churn hazards (PERF104): race timers and callback scans."""

@@ -1,0 +1,29 @@
+"""Timer shapes PERF104 must stay silent on (conservative-for-silence)."""
+
+
+def call_tracked(engine, registry, cid, done):
+    """The timer escapes into *registry*: whoever holds it can cancel."""
+    timer = engine.timeout(1.0)
+    timer.callbacks.append(lambda _ev: done.fail(RuntimeError(cid)))
+    registry[cid] = timer
+    return done
+
+
+def plain_sleep(engine):
+    """A pure delay with no callback attached always fires by design."""
+    yield engine.timeout(0.5)
+
+
+def cancelled_race(engine, done):
+    """The loser is cancelled when the completion wins: corpse-free."""
+    timer = engine.timeout(1.0)
+    timer.callbacks.append(lambda _ev: done.fail(RuntimeError("late")))
+    done.callbacks.append(lambda _ev: timer.cancel())
+    return done
+
+
+def yielded_timer(engine):
+    """Yielded timers park a process; the kernel consumes them."""
+    timer = engine.timeout(2.0)
+    timer.callbacks.append(print)
+    yield timer

@@ -1,0 +1,18 @@
+"""Both PERF104 hazard shapes — each line below must be flagged.
+
+Expected findings: the ``callbacks.remove`` scan in :func:`forget` and
+the stored-but-never-cancelled expiry timer in :func:`call_with_expiry`.
+"""
+
+
+def forget(event, callback):
+    """O(n) scan of a possibly huge callback list."""
+    event.callbacks.remove(callback)
+
+
+def call_with_expiry(engine, op, done):
+    """Expiry racing a completion with no handle kept to cancel it:
+    when the completion wins, the timer stays queued as a corpse."""
+    timer = engine.timeout(1.0)
+    timer.callbacks.append(lambda _ev: done.fail(RuntimeError(op)))
+    return done

@@ -1,0 +1,321 @@
+"""Event cancellation: semantics, queue hygiene, and the Ticker."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, cancel_enabled, set_cancel_enabled
+
+
+@pytest.fixture(autouse=True)
+def _cancel_on():
+    set_cancel_enabled(True)
+    yield
+    set_cancel_enabled(True)
+
+
+# -------------------------------------------------------------- semantics
+def test_cancelled_timer_never_fires():
+    eng = Engine()
+    fired = []
+    t = eng.timeout(1.0)
+    t.callbacks.append(lambda ev: fired.append(ev))
+    assert t.cancel() is True
+    assert t.cancelled
+    eng.run()
+    assert fired == []
+    assert eng.now == 0.0  # the corpse is skipped, not fired
+
+
+def test_cancel_is_idempotent():
+    eng = Engine()
+    t = eng.timeout(1.0)
+    assert t.cancel() is True
+    assert t.cancel() is True
+    assert eng.stats()["cancelled_total"] == 1
+
+
+def test_cancel_after_trigger_raises():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(42)
+    with pytest.raises(SimulationError):
+        ev.cancel()
+
+
+def test_cancel_after_fire_raises():
+    eng = Engine()
+    t = eng.timeout(1.0)
+    eng.run()
+    assert t.processed
+    with pytest.raises(SimulationError):
+        t.cancel()
+
+
+def test_cancelled_event_cannot_be_scheduled():
+    eng = Engine()
+    ev = eng.event()
+    ev.cancel()
+    with pytest.raises(SimulationError):
+        ev.succeed(1)
+
+
+def test_toggle_off_is_noop():
+    eng = Engine()
+    fired = []
+    t = eng.timeout(1.0)
+    t.callbacks.append(lambda ev: fired.append(eng.now))
+    set_cancel_enabled(False)
+    assert not cancel_enabled()
+    assert t.cancel() is False
+    assert not t.cancelled
+    eng.run()
+    assert fired == [1.0]  # baseline semantics: the timer still fires
+
+
+def test_cancelled_heads_skipped_in_order():
+    eng = Engine()
+    fired = []
+    timers = [eng.timeout(float(i)) for i in range(6)]
+    for t in timers:
+        t.callbacks.append(lambda ev, t=t: fired.append(timers.index(t)))
+    for i in (0, 2, 3, 5):
+        timers[i].cancel()
+    eng.run()
+    assert fired == [1, 4]
+    assert eng.now == 4.0
+
+
+def test_peek_skips_corpses():
+    eng = Engine()
+    first = eng.timeout(1.0)
+    eng.timeout(2.0)
+    assert eng.peek() == 1.0
+    first.cancel()
+    assert eng.peek() == 2.0
+    lone = eng.timeout(0.5)
+    assert eng.peek() == 0.5
+    lone.cancel()
+    assert eng.peek() == 2.0
+
+
+# ----------------------------------------------------------------- census
+def test_stats_census_counts():
+    eng = Engine()
+    live = eng.timeout(5.0)
+    dead = [eng.timeout(1.0) for _ in range(10)]
+    for t in dead:
+        t.cancel()
+    s = eng.stats()
+    assert s["eventq"] == "heap"
+    assert s["pending"] == 11
+    assert s["dead_pending"] == 10
+    assert s["live_pending"] == 1
+    assert s["cancelled_total"] == 10
+    eng.run()
+    assert live.processed
+    assert eng.stats()["pending"] == 0
+    assert eng.stats()["dead_pending"] == 0
+
+
+def test_compaction_triggers_when_dead_dominates():
+    eng = Engine()
+    eng.timeout(10.0)
+    doomed = [eng.timeout(5.0) for _ in range(3000)]
+    for t in doomed:
+        t.cancel()
+    # Nothing compacts at cancel time (O(1) cancels)...
+    assert eng.stats()["compactions"] == 0
+    assert eng.stats()["dead_pending"] == 3000
+    # ...but the first pops trip the dead-majority threshold.
+    eng.timeout(0.0)
+    eng.step()
+    eng.step()
+    s = eng.stats()
+    assert s["compactions"] >= 1
+    assert s["dead_pending"] == 0
+    assert s["pending"] == 0
+    assert eng.now == 10.0
+
+
+def test_compaction_preserves_live_ordering():
+    eng = Engine()
+    fired = []
+    for i in range(4000):
+        t = eng.timeout(float(i % 7) + 1.0, value=i)
+        if i % 3 == 0:
+            t.callbacks.append(lambda ev: fired.append(ev.value))
+        else:
+            t.cancel()
+    eng.run()
+    expected = sorted((i for i in range(4000) if i % 3 == 0),
+                      key=lambda i: (float(i % 7) + 1.0, i))
+    assert fired == expected
+    assert eng.stats()["compactions"] >= 1
+
+
+# -------------------------------------------------- cancellation downstream
+def test_resource_release_skips_cancelled_waiter():
+    from repro.sim import Resource
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    first = res.request()
+    quitter = res.request()
+    third = res.request()
+    quitter.cancel()
+    res.release(first)
+    eng.run()
+    assert third.processed and third.ok
+    assert not quitter.processed
+
+
+def test_store_dispatch_skips_cancelled_getter():
+    from repro.sim import Store
+    eng = Engine()
+    store = Store(eng)
+    quitter = store.get()
+    keeper = store.get()
+    quitter.cancel()
+    store.put("x")
+    eng.run()
+    assert keeper.processed and keeper.value == "x"
+    assert not quitter.processed
+
+
+def test_lock_wake_skips_cancelled_waiter():
+    from repro.fs.locking import RangeLockTable
+    eng = Engine()
+    table = RangeLockTable()
+    assert table.try_lock_write(1, 0, 100, "a")
+    ev_b, ev_c = eng.event(), eng.event()
+    table.wait(1, ev_b, 0, 100, owner="b")
+    table.wait(1, ev_c, 0, 100, owner="c")
+    ev_b.cancel()
+    table.unlock_write(1, "a")
+    eng.run()
+    assert ev_c.processed and ev_c.ok
+    assert not ev_b.processed
+
+
+# ------------------------------------------------------------------ ticker
+def test_ticker_stop_ends_loop_and_cancels_sleep():
+    eng = Engine()
+    ticks = []
+    ticker = eng.every(1.0, lambda: ticks.append(eng.now))
+    eng.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    ticker.stop()
+    assert eng.stats()["dead_pending"] == 1  # the abandoned sleep
+    eng.run(until=10.0)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert ticker.processed  # the ticker process ended cleanly
+    assert eng.stats()["pending"] == 0
+
+
+def test_ticker_stop_is_idempotent():
+    eng = Engine()
+    ticker = eng.every(1.0, lambda: None)
+    eng.run(until=1.5)
+    ticker.stop()
+    ticker.stop()
+    eng.run()
+    assert ticker.processed
+
+
+def test_ticker_stop_before_start():
+    eng = Engine()
+    ticks = []
+    ticker = eng.every(1.0, lambda: ticks.append(eng.now))
+    ticker.stop()
+    eng.run(until=5.0)
+    assert ticks == []
+    assert ticker.processed
+
+
+def test_ticker_stop_from_within_tick():
+    eng = Engine()
+    ticks = []
+    holder = {}
+
+    def tick():
+        ticks.append(eng.now)
+        if len(ticks) == 2:
+            holder["t"].stop()
+
+    holder["t"] = eng.every(1.0, tick)
+    eng.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+    assert holder["t"].processed
+
+
+def test_ticker_interval_start_delay_interplay():
+    eng = Engine()
+    ticks = []
+    eng.every(2.0, lambda: ticks.append(eng.now), start_delay=0.5)
+    eng.run(until=7.0)
+    # First tick at start_delay, then strictly every interval after it.
+    assert ticks == [0.5, 2.5, 4.5, 6.5]
+
+
+def test_ticker_stop_with_cancel_disabled_still_stops():
+    eng = Engine()
+    ticks = []
+    ticker = eng.every(1.0, lambda: ticks.append(eng.now))
+    eng.run(until=1.5)
+    set_cancel_enabled(False)
+    ticker.stop()
+    eng.run(until=6.0)
+    # The abandoned sleep fires as a detached no-op; no further ticks.
+    assert ticks == [1.0]
+    assert ticker.processed
+
+
+# ------------------------------------------------------- interrupt regression
+def test_interrupt_behind_thousands_of_waiters():
+    """Interrupting a process parked on a contended event is O(1):
+    the detach must not disturb the other waiters or the event."""
+    eng = Engine()
+    gate = eng.event()
+    woken = []
+
+    def waiter(i):
+        yield gate
+        woken.append(i)
+
+    def victim():
+        try:
+            yield gate
+        except Exception:  # InterruptError
+            woken.append("interrupted")
+
+    n = 5000
+    for i in range(n // 2):
+        eng.process(waiter(i))
+    victim_proc = eng.process(victim())
+    for i in range(n // 2, n):
+        eng.process(waiter(i))
+
+    def driver():
+        yield eng.timeout(1.0)
+        victim_proc.interrupt("test")
+        yield eng.timeout(1.0)
+        gate.succeed("open")
+
+    eng.process(driver())
+    eng.run()
+    assert woken[0] == "interrupted"
+    assert sorted(w for w in woken[1:]) == list(range(n))
+
+
+def test_interrupt_detach_keeps_condition_events_live():
+    from repro.sim import AnyOf
+    eng = Engine()
+    results = []
+
+    def racer():
+        a, b = eng.timeout(1.0, "a"), eng.timeout(2.0, "b")
+        got = yield AnyOf(eng, [a, b])
+        results.append(got)
+
+    eng.process(racer())
+    eng.run()
+    assert results == [["a"]]

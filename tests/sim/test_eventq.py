@@ -1,0 +1,244 @@
+"""Calendar event queue: unit coverage + heap-equivalence property test."""
+
+import heapq
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    CalendarEventQueue,
+    Engine,
+    default_eventq,
+    set_default_eventq,
+    set_cancel_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _defaults():
+    set_cancel_enabled(True)
+    set_default_eventq(None)
+    yield
+    set_cancel_enabled(True)
+    set_default_eventq(None)
+
+
+class _Stub:
+    """Minimal event standing in for sim Events in raw-queue tests."""
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self):
+        self._cancelled = False
+
+
+# ------------------------------------------------------------- raw queue
+def test_rejects_degenerate_bucket_count():
+    with pytest.raises(ValueError):
+        CalendarEventQueue(n_buckets=1)
+
+
+def test_empty_queue_peeks_and_pops_none():
+    q = CalendarEventQueue()
+    assert len(q) == 0
+    assert q.peek() is None
+    assert q.pop() is None
+
+
+def test_pop_order_matches_heap_order():
+    q = CalendarEventQueue(n_buckets=8)
+    entries = [(float(t), s, _Stub())
+               for s, t in enumerate([5, 1, 3, 1, 9, 0, 7, 2, 8, 4])]
+    for e in entries:
+        q.push(*e)
+    drained = []
+    while True:
+        e = q.pop()
+        if e is None:
+            break
+        drained.append(e)
+    assert drained == sorted(entries, key=lambda e: (e[0], e[1]))
+    assert len(q) == 0
+
+
+def test_seq_breaks_time_ties():
+    q = CalendarEventQueue(n_buckets=4)
+    stubs = [_Stub() for _ in range(5)]
+    for s in (3, 0, 4, 1, 2):
+        q.push(1.0, s, stubs[s])
+    assert [q.pop()[1] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_late_arrival_lands_in_current_drain():
+    q = CalendarEventQueue(n_buckets=4)
+    for s, t in enumerate([0.0, 1.0, 2.0, 3.0]):
+        q.push(t, s, _Stub())
+    first = q.pop()
+    assert first[:2] == (0.0, 0)
+    # A push at-or-after the popped time but before the window's tail
+    # must slot into the live drain without breaking ascending order.
+    q.push(0.5, 99, _Stub())
+    assert q.pop()[:2] == (0.5, 99)
+    assert q.pop()[:2] == (1.0, 1)
+
+
+def test_rollover_retunes_width_and_preserves_order():
+    q = CalendarEventQueue(n_buckets=4)
+    # Two regimes: a dense cluster near zero, a sparse tail far away.
+    times = [0.001 * i for i in range(20)] + [1000.0 + 50.0 * i
+                                              for i in range(20)]
+    entries = [(t, s, _Stub()) for s, t in enumerate(times)]
+    for e in reversed(entries):
+        q.push(*e)
+    drained = [q.pop() for _ in range(len(entries))]
+    assert drained == sorted(entries, key=lambda e: (e[0], e[1]))
+    assert q.pop() is None
+
+
+def test_all_events_at_one_instant():
+    q = CalendarEventQueue(n_buckets=4)
+    for s in range(100):
+        q.push(7.0, s, _Stub())
+    assert [q.pop()[1] for _ in range(100)] == list(range(100))
+
+
+def test_compact_drops_corpses_everywhere():
+    q = CalendarEventQueue(n_buckets=4)
+    stubs = {}
+    for s in range(40):
+        stubs[s] = _Stub()
+        q.push(float(s), s, stubs[s])
+    q.pop()  # prime the drain region
+    for s in range(1, 40, 2):
+        stubs[s]._cancelled = True
+    assert q.compact() == 20  # every odd seq was a corpse
+    assert len(q) == 19
+    seqs = []
+    while True:
+        e = q.pop()
+        if e is None:
+            break
+        seqs.append(e[1])
+    assert seqs == [s for s in range(2, 40, 2)]
+
+
+# ------------------------------------------------------------ engine glue
+def test_engine_accepts_calendar_kind():
+    eng = Engine(eventq="calendar")
+    assert eng.stats()["eventq"] == "CalendarEventQueue"
+    fired = []
+    for d in (3.0, 1.0, 2.0):
+        eng.timeout(d).callbacks.append(lambda ev, d=d: fired.append(d))
+    eng.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_engine_accepts_duck_typed_queue():
+    eng = Engine(eventq=CalendarEventQueue(n_buckets=16))
+    eng.timeout(1.0)
+    eng.run()
+    assert eng.now == 1.0
+
+
+def test_engine_rejects_unknown_eventq():
+    with pytest.raises(SimulationError):
+        Engine(eventq="splay")
+
+
+def test_module_default_eventq_applies_to_new_engines():
+    assert default_eventq() is None
+    set_default_eventq("calendar")
+    assert default_eventq() == "calendar"
+    assert Engine().stats()["eventq"] == "CalendarEventQueue"
+    set_default_eventq("heap")
+    assert Engine().stats()["eventq"] == "heap"
+    with pytest.raises(SimulationError):
+        set_default_eventq("splay")
+
+
+def test_calendar_engine_cancel_and_compaction():
+    eng = Engine(eventq="calendar")
+    eng.timeout(10.0)
+    doomed = [eng.timeout(5.0) for _ in range(3000)]
+    for t in doomed:
+        t.cancel()
+    eng.timeout(0.0)
+    eng.step()
+    eng.step()
+    s = eng.stats()
+    assert s["compactions"] >= 1
+    assert s["dead_pending"] == 0
+    assert eng.now == 10.0
+
+
+# -------------------------------------------------------------- property
+def _churn_script(eng, rng, log):
+    """One seeded workload: timers, processes, cancels, interrupts."""
+
+    def napper(tag, delays):
+        try:
+            for d in delays:
+                yield eng.timeout(d)
+                log.append(("nap", tag, eng.now))
+        except Exception:
+            log.append(("intr", tag, eng.now))
+
+    procs = []
+    for i in range(40):
+        delays = [round(rng.uniform(0.1, 50.0), 3)
+                  for _ in range(rng.randrange(1, 5))]
+        procs.append(eng.process(napper(i, delays)))
+    timers = []
+    for i in range(400):
+        t = eng.timeout(round(rng.uniform(0.0, 200.0), 3), value=i)
+        t.callbacks.append(lambda ev: log.append(("t", ev.value, eng.now)))
+        timers.append(t)
+    for i in rng.sample(range(400), 150):
+        timers[i].cancel()
+
+    def saboteur():
+        for victim in rng.sample(procs, 10):
+            yield eng.timeout(round(rng.uniform(0.5, 20.0), 3))
+            if victim.is_alive:
+                victim.interrupt("chaos")
+
+    eng.process(saboteur())
+
+
+@pytest.mark.parametrize("seed", [7, 23, 1009])
+def test_heap_and_calendar_fire_identically(seed):
+    """Same seeded churn script on both queues: identical firing logs."""
+    logs = []
+    for kind in ("heap", "calendar"):
+        eng = Engine(eventq=kind)
+        log = []
+        _churn_script(eng, random.Random(seed), log)
+        eng.run()
+        logs.append((log, eng.now))
+    assert logs[0] == logs[1]
+
+
+@pytest.mark.parametrize("seed", [3, 91])
+def test_raw_queue_matches_heap_under_random_interleaving(seed):
+    """Interleaved push/pop streams drain in identical (time, seq) order."""
+    rng = random.Random(seed)
+    cal = CalendarEventQueue(n_buckets=8)
+    heap = []
+    seq = 0
+    clock = 0.0
+    for _ in range(2000):
+        if heap and rng.random() < 0.45:
+            a = heapq.heappop(heap)
+            b = cal.pop()
+            assert b == a
+            clock = a[0]
+        else:
+            when = clock + rng.choice((0.0, rng.uniform(0.0, 30.0)))
+            entry = (when, seq, _Stub())
+            seq += 1
+            heapq.heappush(heap, entry)
+            cal.push(*entry)
+    while heap:
+        assert cal.pop() == heapq.heappop(heap)
+    assert cal.pop() is None
